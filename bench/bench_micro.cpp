@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrate pieces —
+// bit-parallel simulation, randomization, FM placement, maze routing, the
+// proximity attack. Useful for tracking performance regressions; not part
+// of the paper's evaluation.
+#include "attack/proximity.hpp"
+#include "core/protect.hpp"
+#include "core/split.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/generator.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace sm;
+
+const netlist::CellLibrary& lib() {
+  static netlist::CellLibrary instance{6};
+  return instance;
+}
+
+netlist::Netlist make_bench(const char* name) {
+  return workloads::generate(lib(), workloads::iscas85_profile(name), 7);
+}
+
+void BM_Simulation64Patterns(benchmark::State& state) {
+  const auto nl = make_bench("c2670");
+  sim::Simulator s(nl);
+  std::vector<std::uint64_t> in(s.num_sources(), 0x123456789abcdefULL), out;
+  for (auto _ : state) {
+    s.eval(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+
+void BM_CompareOerHd(benchmark::State& state) {
+  const auto nl = make_bench("c880");
+  for (auto _ : state) {
+    const auto r = sim::compare(nl, nl, 4096, 3);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_Randomize(benchmark::State& state) {
+  const auto nl = make_bench("c880");
+  core::RandomizeOptions opts;
+  opts.check_patterns = 1024;
+  for (auto _ : state) {
+    const auto r = core::randomize(nl, opts);
+    benchmark::DoNotOptimize(r.swaps);
+  }
+}
+
+void BM_Place(benchmark::State& state) {
+  const auto nl = make_bench("c880");
+  place::Placer placer;
+  for (auto _ : state) {
+    const auto pl = placer.place(nl);
+    benchmark::DoNotOptimize(pl.pos.size());
+  }
+}
+
+void BM_Route(benchmark::State& state) {
+  const auto nl = make_bench("c880");
+  place::Placer placer;
+  const auto pl = placer.place(nl);
+  const auto tasks = route::make_tasks(nl, pl);
+  route::RouterOptions opts;
+  opts.gcell_um = 1.4;
+  route::Router router(opts);
+  for (auto _ : state) {
+    const auto r = router.route(tasks, pl.floorplan.die, lib().metal());
+    benchmark::DoNotOptimize(r.stats.total_vias());
+  }
+}
+
+void BM_ProximityAttack(benchmark::State& state) {
+  const auto nl = make_bench("c880");
+  core::FlowOptions flow;
+  flow.router.passes = 2;
+  const auto layout = core::layout_original(nl, flow);
+  const auto view = core::split_layout(nl, layout.placement, layout.routing,
+                                       layout.tasks, layout.num_net_tasks, 3);
+  attack::ProximityOptions opts;
+  opts.eval_patterns = 1024;
+  for (auto _ : state) {
+    const auto res = attack::proximity_attack(nl, nl, layout.placement, view,
+                                              nullptr, opts);
+    benchmark::DoNotOptimize(res.correct);
+  }
+}
+
+BENCHMARK(BM_Simulation64Patterns);
+BENCHMARK(BM_CompareOerHd);
+BENCHMARK(BM_Randomize);
+BENCHMARK(BM_Place);
+BENCHMARK(BM_Route);
+BENCHMARK(BM_ProximityAttack);
+
+}  // namespace
+
+BENCHMARK_MAIN();

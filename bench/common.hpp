@@ -1,0 +1,105 @@
+// Shared plumbing for the per-table/figure bench harnesses.
+//
+// Every bench accepts:
+//   --scale=<f>     superblue clone scale (default 0.01 of published size)
+//   --seed=<n>      master seed (default 1)
+//   --patterns=<n>  simulation patterns for OER/HD (default 100000;
+//                   the paper uses 1,000,000 — pass --patterns=1000000 to
+//                   match, at ~10x the runtime)
+//   --quick         clip benchmark lists for smoke runs
+//   --benchmarks=a,b,c   explicit benchmark subset
+#pragma once
+
+#include "core/baselines.hpp"
+#include "core/protect.hpp"
+#include "core/split.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/generator.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sm::bench {
+
+struct SuiteOptions {
+  double scale = 0.01;
+  std::uint64_t seed = 1;
+  std::size_t patterns = 100000;
+  bool quick = false;
+  std::vector<std::string> only;  ///< benchmark filter (empty = all)
+};
+
+inline SuiteOptions parse_suite(int argc, const char* const* argv) {
+  util::Args args(argc, argv);
+  SuiteOptions s;
+  s.scale = args.get_double("scale", s.scale);
+  s.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  s.patterns = static_cast<std::size_t>(
+      args.get_int("patterns", static_cast<std::int64_t>(s.patterns)));
+  s.quick = args.get_bool("quick", false);
+  std::string list = args.get("benchmarks", "");
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    s.only.push_back(list.substr(0, comma));
+    list = comma == std::string::npos ? "" : list.substr(comma + 1);
+  }
+  return s;
+}
+
+inline std::vector<std::string> pick(const std::vector<std::string>& all,
+                                     const SuiteOptions& s,
+                                     std::size_t quick_count = 2) {
+  if (!s.only.empty()) return s.only;
+  if (s.quick)
+    return {all.begin(),
+            all.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(quick_count, all.size()))};
+  return all;
+}
+
+/// Flow options for ISCAS-85 runs: correction pins in M6 (paper Sec. 5.1).
+inline core::FlowOptions iscas_flow(std::uint64_t seed) {
+  core::FlowOptions f;
+  f.lift_layer = 6;
+  f.seed = seed;
+  f.router.passes = 3;
+  f.placer.seed = seed;
+  f.placer.target_utilization = 0.45;  // congestion-free at our router
+  f.placer.detailed_passes = 2;
+  return f;
+}
+
+/// Flow options for superblue runs: correction pins in M8 (paper Sec. 5.1).
+/// The published utilizations are derated x0.5 so the substrate router stays
+/// congestion-free, mirroring the paper's "appropriate utilization rates".
+inline core::FlowOptions superblue_flow(std::uint64_t seed,
+                                        const workloads::GenSpec& spec) {
+  core::FlowOptions f;
+  f.lift_layer = 8;
+  f.seed = seed;
+  f.router.passes = 3;
+  f.placer.seed = seed;
+  f.placer.target_utilization = spec.utilization * 0.5;
+  f.placer.detailed_passes = 1;
+  return f;
+}
+
+inline core::RandomizeOptions default_randomize(std::uint64_t seed) {
+  core::RandomizeOptions r;
+  r.seed = seed;
+  r.target_oer = 0.995;
+  r.check_patterns = 4096;
+  return r;
+}
+
+inline void print_header(const char* what) {
+  std::printf("\n==== %s ====\n", what);
+  std::printf(
+      "(synthetic benchmark clones; expect the paper's *shape*, not its "
+      "absolute numbers — see EXPERIMENTS.md)\n\n");
+}
+
+}  // namespace sm::bench

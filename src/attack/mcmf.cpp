@@ -1,0 +1,86 @@
+#include "attack/mcmf.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace sm::attack {
+
+MinCostFlow::MinCostFlow(int num_nodes) : graph_(static_cast<std::size_t>(num_nodes)) {}
+
+int MinCostFlow::add_edge(int from, int to, int capacity, double cost) {
+  const int id = static_cast<int>(edge_ref_.size());
+  auto& fwd = graph_[static_cast<std::size_t>(from)];
+  auto& bwd = graph_[static_cast<std::size_t>(to)];
+  fwd.push_back({to, capacity, cost, static_cast<int>(bwd.size())});
+  bwd.push_back({from, 0, -cost, static_cast<int>(fwd.size()) - 1});
+  edge_ref_.emplace_back(from, static_cast<int>(fwd.size()) - 1);
+  return id;
+}
+
+int MinCostFlow::flow_on(int id) const {
+  const auto [node, idx] = edge_ref_.at(static_cast<std::size_t>(id));
+  const Edge& e = graph_[static_cast<std::size_t>(node)][static_cast<std::size_t>(idx)];
+  // Residual of the reverse edge equals the pushed flow.
+  return graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)].cap;
+}
+
+std::pair<int, double> MinCostFlow::solve(int s, int t, int max_flow) {
+  const int n = static_cast<int>(graph_.size());
+  int flow = 0;
+  double cost = 0;
+  while (flow < max_flow) {
+    // SPFA shortest path on residual graph (costs may be negative on
+    // residual arcs; SPFA handles that without potentials).
+    std::vector<double> dist(static_cast<std::size_t>(n),
+                             std::numeric_limits<double>::infinity());
+    std::vector<int> prev_node(static_cast<std::size_t>(n), -1);
+    std::vector<int> prev_edge(static_cast<std::size_t>(n), -1);
+    std::vector<bool> in_queue(static_cast<std::size_t>(n), false);
+    std::deque<int> queue;
+    dist[static_cast<std::size_t>(s)] = 0;
+    queue.push_back(s);
+    in_queue[static_cast<std::size_t>(s)] = true;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<std::size_t>(u)] = false;
+      for (std::size_t i = 0; i < graph_[static_cast<std::size_t>(u)].size(); ++i) {
+        const Edge& e = graph_[static_cast<std::size_t>(u)][i];
+        if (e.cap <= 0) continue;
+        const double nd = dist[static_cast<std::size_t>(u)] + e.cost;
+        if (nd + 1e-12 < dist[static_cast<std::size_t>(e.to)]) {
+          dist[static_cast<std::size_t>(e.to)] = nd;
+          prev_node[static_cast<std::size_t>(e.to)] = u;
+          prev_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(i);
+          if (!in_queue[static_cast<std::size_t>(e.to)]) {
+            in_queue[static_cast<std::size_t>(e.to)] = true;
+            queue.push_back(e.to);
+          }
+        }
+      }
+    }
+    if (prev_node[static_cast<std::size_t>(t)] < 0) break;  // no augmenting path
+    // Bottleneck along the path.
+    int push = max_flow - flow;
+    for (int v = t; v != s;) {
+      const int u = prev_node[static_cast<std::size_t>(v)];
+      const Edge& e = graph_[static_cast<std::size_t>(u)]
+                            [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)])];
+      push = std::min(push, e.cap);
+      v = u;
+    }
+    for (int v = t; v != s;) {
+      const int u = prev_node[static_cast<std::size_t>(v)];
+      Edge& e = graph_[static_cast<std::size_t>(u)]
+                      [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)])];
+      e.cap -= push;
+      graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)].cap += push;
+      v = u;
+    }
+    flow += push;
+    cost += dist[static_cast<std::size_t>(t)] * push;
+  }
+  return {flow, cost};
+}
+
+}  // namespace sm::attack

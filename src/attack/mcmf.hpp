@@ -1,0 +1,35 @@
+// Minimal successive-shortest-path min-cost max-flow (SPFA variant), used by
+// the network-flow proximity attack to assign sink fragments to driver
+// fragments at least total cost — the formulation of Wang et al. [5].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sm::attack {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  /// Add a directed edge with capacity and cost; returns the edge id.
+  int add_edge(int from, int to, int capacity, double cost);
+
+  /// Send up to `max_flow` units from s to t; returns (flow, cost).
+  std::pair<int, double> solve(int s, int t, int max_flow);
+
+  /// Flow currently on edge `id` (forward direction).
+  int flow_on(int id) const;
+
+ private:
+  struct Edge {
+    int to;
+    int cap;
+    double cost;
+    int rev;  ///< index of the reverse edge in graph_[to]
+  };
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<int, int>> edge_ref_;  ///< id -> (node, index)
+};
+
+}  // namespace sm::attack

@@ -1,0 +1,310 @@
+#include "attack/proximity.hpp"
+
+#include "attack/mcmf.hpp"
+#include "netlist/topo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace sm::attack {
+
+using core::Fragment;
+using core::SplitView;
+using netlist::CellId;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::Sink;
+using util::Point;
+
+namespace {
+
+/// Hypothesis connectivity the attacker grows: visible FEOL connections plus
+/// committed guesses. Supports incremental combinational-loop checks.
+class Hypothesis {
+ public:
+  explicit Hypothesis(const Netlist& nl) : nl_(&nl) {
+    adj_.resize(nl.num_cells());
+  }
+
+  void add_edge(CellId from, CellId to) { adj_[from].push_back(to); }
+
+  /// Would from->to close a combinational cycle? (from reachable from to)
+  bool would_loop(CellId from, CellId to) const {
+    if (!nl_->is_combinational(from)) return false;
+    if (from == to) return true;
+    std::vector<CellId> stack{to};
+    std::set<CellId> seen{to};
+    while (!stack.empty()) {
+      const CellId cur = stack.back();
+      stack.pop_back();
+      if (!nl_->is_combinational(cur)) continue;
+      for (const CellId nxt : adj_[cur]) {
+        if (nxt == from) return true;
+        if (seen.insert(nxt).second) stack.push_back(nxt);
+      }
+    }
+    return false;
+  }
+
+ private:
+  const Netlist* nl_;
+  std::vector<std::vector<CellId>> adj_;
+};
+
+Point frag_anchor(const Fragment& f) {
+  return f.vpins.empty() ? f.anchor : f.vpins.front().pos;
+}
+
+/// Matching cost between a driver fragment and a sink fragment: closest
+/// vpin-pair Manhattan distance, discounted when the dangling-wire stubs
+/// point at each other (hint (iv) of [5] — the BEOL continuation of a wire
+/// usually proceeds in the direction its FEOL stub was heading).
+double pair_cost(const Netlist& feol, const Fragment& drv,
+                 const Fragment& snk, const ProximityOptions& opts) {
+  const bool use_dir = opts.use_direction;
+  const double dir_bonus = opts.direction_bonus;
+  // Drive-strength prior: penalize matches whose distance disagrees with
+  // what the driver's strength suggests (hint discussed in paper Sec. 3).
+  double prior_factor = 1.0;
+  if (opts.use_strength_prior) {
+    const auto& t = feol.type_of(feol.net(drv.net).driver);
+    const double expected =
+        opts.strength_prior_scale_um / std::max(t.drive_res_kohm, 0.5);
+    const double actual =
+        util::manhattan(frag_anchor(drv), frag_anchor(snk)) + 1.0;
+    const double mismatch = std::abs(std::log((actual + 1.0) / (expected + 1.0)));
+    prior_factor += opts.strength_prior_weight * std::min(mismatch, 2.0);
+  }
+  // Hint (i): gate placement proximity (anchor = driver/sink gate location).
+  const double anchor_term =
+      opts.anchor_weight * util::manhattan(drv.anchor, snk.anchor);
+  double best = util::manhattan(frag_anchor(drv), frag_anchor(snk)) + 1.0;
+  auto consider = [&](const core::VPin& d, const core::VPin& s) {
+    const double vx = s.pos.x - d.pos.x;
+    const double vy = s.pos.y - d.pos.y;
+    const double dist = std::abs(vx) + std::abs(vy) + 1.0;
+    const double norm = std::sqrt(vx * vx + vy * vy) + 1e-9;
+    double factor = 1.0;
+    if (use_dir) {
+      const double half = (1.0 - dir_bonus) / 2.0;
+      if (d.dir_dx != 0 || d.dir_dy != 0) {
+        const double cosd = (vx * d.dir_dx + vy * d.dir_dy) / norm;
+        factor -= half * std::max(0.0, cosd);
+      }
+      if (s.dir_dx != 0 || s.dir_dy != 0) {
+        const double coss = (-vx * s.dir_dx - vy * s.dir_dy) / norm;
+        factor -= half * std::max(0.0, coss);
+      }
+      // Track alignment: preferred-direction BEOL layers keep one grid
+      // coordinate constant, so a partner sharing the vpin's routing track
+      // is far more plausible than an off-track one (a straight bridge beats
+      // an L- or Z-shaped one).
+      if (d.grid.x == s.grid.x || d.grid.y == s.grid.y)
+        factor *= opts.track_bonus;
+    }
+    best = std::min(best, dist * factor);
+  };
+  if (drv.vpins.empty() || snk.vpins.empty())
+    return best * prior_factor + anchor_term;
+  for (const auto& dv : drv.vpins)
+    for (const auto& sv : snk.vpins) consider(dv, sv);
+  return best * prior_factor + anchor_term;
+}
+
+}  // namespace
+
+ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
+                                 const place::Placement& pl,
+                                 const SplitView& view,
+                                 const core::SwapLedger* ledger,
+                                 const ProximityOptions& opts) {
+  (void)pl;  // fragment anchors already carry the physical positions
+  ProximityResult result;
+
+  const auto drv_frag_ids = view.open_driver_fragments();
+  const auto snk_frag_ids = view.open_sink_fragments();
+  const std::size_t nd = drv_frag_ids.size();
+  const std::size_t ns = snk_frag_ids.size();
+
+  // Sink pins the attacker must recover (everything else is FEOL-visible).
+  std::set<std::pair<CellId, int>> open_pins;
+  for (const auto fi : snk_frag_ids)
+    for (const auto& s : view.fragments[fi].sinks)
+      open_pins.insert({s.cell, s.pin});
+
+  Hypothesis hyp(feol);
+  for (NetId n = 0; n < feol.num_nets(); ++n) {
+    const auto& net = feol.net(n);
+    for (const auto& s : net.sinks)
+      if (!open_pins.count({s.cell, s.pin})) hyp.add_edge(net.driver, s.cell);
+  }
+
+  // Driver fanout capacity from the load budget (hint (iii)).
+  auto sink_caps = [&](const Fragment& sf) {
+    double c = 0;
+    for (const auto& s : sf.sinks) c += feol.type_of(s.cell).input_cap_ff;
+    return std::max(c, 0.1);
+  };
+  std::vector<int> drv_capacity(nd, static_cast<int>(ns));
+  if (opts.use_load) {
+    for (std::size_t di = 0; di < nd; ++di) {
+      const Fragment& f = view.fragments[drv_frag_ids[di]];
+      const auto& t = feol.type_of(feol.net(f.net).driver);
+      double budget =
+          opts.load_budget_ff_per_ks / std::max(t.drive_res_kohm, 0.5);
+      for (const auto& s : feol.net(f.net).sinks)
+        if (!open_pins.count({s.cell, s.pin}))
+          budget -= feol.type_of(s.cell).input_cap_ff;
+      // Average open-sink-fragment load translates budget into a count.
+      drv_capacity[di] = std::max(1, static_cast<int>(budget / 2.0));
+    }
+  }
+
+  // Candidate edges: k cheapest driver fragments per sink fragment.
+  struct Cand {
+    double cost;
+    std::size_t si, di;
+  };
+  std::vector<std::vector<Cand>> per_sink(ns);
+  for (std::size_t si = 0; si < ns; ++si) {
+    const Fragment& sf = view.fragments[snk_frag_ids[si]];
+    auto& local = per_sink[si];
+    local.reserve(nd);
+    for (std::size_t di = 0; di < nd; ++di) {
+      const Fragment& df = view.fragments[drv_frag_ids[di]];
+      local.push_back({pair_cost(feol, df, sf, opts), si, di});
+    }
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(opts.candidates_per_sink), local.size());
+    std::partial_sort(local.begin(),
+                      local.begin() + static_cast<std::ptrdiff_t>(k),
+                      local.end(),
+                      [](const Cand& a, const Cand& b) { return a.cost < b.cost; });
+    local.resize(k);
+  }
+
+  // Min-cost flow: source -> sink-fragments (cap 1) -> candidate drivers
+  // (cap 1 each edge) -> drivers -> target (cap = fanout budget).
+  std::vector<std::size_t> assigned(ns, static_cast<std::size_t>(-1));
+  if (nd > 0 && ns > 0) {
+    const int S = 0;
+    const int T = 1;
+    const auto sink_node = [&](std::size_t si) { return 2 + static_cast<int>(si); };
+    const auto drv_node = [&](std::size_t di) {
+      return 2 + static_cast<int>(ns) + static_cast<int>(di);
+    };
+    MinCostFlow flow(2 + static_cast<int>(ns + nd));
+    for (std::size_t si = 0; si < ns; ++si) flow.add_edge(S, sink_node(si), 1, 0);
+    for (std::size_t di = 0; di < nd; ++di)
+      flow.add_edge(drv_node(di), T, drv_capacity[di], 0);
+    struct EdgeRef {
+      int edge;
+      std::size_t si, di;
+      double cost;
+    };
+    std::vector<EdgeRef> refs;
+    for (std::size_t si = 0; si < ns; ++si)
+      for (const auto& c : per_sink[si])
+        refs.push_back({flow.add_edge(sink_node(si), drv_node(c.di), 1, c.cost),
+                        si, c.di, c.cost});
+    flow.solve(S, T, static_cast<int>(ns));
+    // Extract the assignment, then commit in cost order with loop repair.
+    std::vector<EdgeRef> chosen;
+    for (const auto& r : refs)
+      if (flow.flow_on(r.edge) > 0) chosen.push_back(r);
+    std::stable_sort(chosen.begin(), chosen.end(),
+                     [](const EdgeRef& a, const EdgeRef& b) {
+                       return a.cost < b.cost;
+                     });
+    auto commit = [&](std::size_t si, std::size_t di) {
+      assigned[si] = di;
+      const CellId drv =
+          feol.net(view.fragments[drv_frag_ids[di]].net).driver;
+      for (const auto& s : view.fragments[snk_frag_ids[si]].sinks)
+        hyp.add_edge(drv, s.cell);
+      ++result.matched;
+    };
+    auto creates_loop = [&](std::size_t si, std::size_t di) {
+      if (!opts.use_loops) return false;
+      const CellId drv =
+          feol.net(view.fragments[drv_frag_ids[di]].net).driver;
+      for (const auto& s : view.fragments[snk_frag_ids[si]].sinks)
+        if (hyp.would_loop(drv, s.cell)) return true;
+      return false;
+    };
+    for (const auto& r : chosen) {
+      if (creates_loop(r.si, r.di)) continue;  // repaired below
+      commit(r.si, r.di);
+    }
+    // Loop/completion repair: nearest loop-free driver for the rest.
+    for (std::size_t si = 0; si < ns; ++si) {
+      if (assigned[si] != static_cast<std::size_t>(-1)) continue;
+      const Fragment& sf = view.fragments[snk_frag_ids[si]];
+      std::vector<std::pair<double, std::size_t>> order;
+      for (std::size_t di = 0; di < nd; ++di)
+        order.push_back(
+            {pair_cost(feol, view.fragments[drv_frag_ids[di]], sf, opts), di});
+      std::sort(order.begin(), order.end());
+      for (const auto& [cost, di] : order) {
+        if (creates_loop(si, di)) continue;
+        commit(si, di);
+        break;
+      }
+    }
+  }
+
+  // Build the recovered netlist and score it.
+  Netlist recovered = feol.clone();
+  std::map<std::pair<CellId, int>, NetId> truth;
+  if (ledger != nullptr)
+    for (const auto& [net, sink] : ledger->true_connections())
+      truth[{sink.cell, sink.pin}] = net;
+
+  for (std::size_t si = 0; si < ns; ++si) {
+    const Fragment& sf = view.fragments[snk_frag_ids[si]];
+    const std::size_t di = assigned[si];
+    for (const auto& s : sf.sinks) {
+      ++result.open_sinks;
+      const NetId true_net =
+          original.cell(s.cell).inputs.at(static_cast<std::size_t>(s.pin));
+      NetId guess = netlist::kInvalidNet;
+      if (di != static_cast<std::size_t>(-1)) {
+        guess = view.fragments[drv_frag_ids[di]].net;
+        recovered.reconnect_sink(s.cell, s.pin, guess);
+      }
+      if (guess == true_net) ++result.correct;
+      const auto it = truth.find({s.cell, s.pin});
+      if (it != truth.end()) {
+        ++result.protected_total;
+        if (guess == it->second) ++result.protected_correct;
+      }
+    }
+  }
+  // Protected connections fully visible in the FEOL are "recovered" as the
+  // erroneous wiring — count them (they score as correct only if the
+  // erroneous connection happens to equal the original one, which swaps
+  // preclude).
+  for (const auto& [key, true_net] : truth) {
+    if (open_pins.count(key)) continue;
+    const NetId visible = feol.cell(key.first).inputs.at(
+        static_cast<std::size_t>(key.second));
+    ++result.protected_total;
+    if (visible == true_net) ++result.protected_correct;
+  }
+
+  recovered.validate();
+  if (netlist::is_acyclic(recovered)) {
+    result.rates =
+        sim::compare(original, recovered, opts.eval_patterns, opts.seed);
+  } else {
+    // Should not happen with loop checks on; report total failure honestly.
+    result.rates.oer = 1.0;
+    result.rates.hd = 0.5;
+    result.rates.patterns = 0;
+  }
+  return result;
+}
+
+}  // namespace sm::attack

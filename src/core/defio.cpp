@@ -1,0 +1,143 @@
+#include "core/defio.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace sm::core {
+
+using netlist::Netlist;
+using route::RouteTask;
+using route::RoutingResult;
+
+namespace {
+
+constexpr double kDbu = 1000.0;  // database units per micron
+
+long dbu(double um) { return std::lround(um * kDbu); }
+
+void write_header(const Netlist& nl, const place::Placement& pl,
+                  std::ostream& os) {
+  os << "VERSION 5.8 ;\nDESIGN " << nl.name() << " ;\nUNITS DISTANCE MICRONS "
+     << static_cast<long>(kDbu) << " ;\n";
+  const auto& die = pl.floorplan.die;
+  os << "DIEAREA ( " << dbu(die.lo.x) << ' ' << dbu(die.lo.y) << " ) ( "
+     << dbu(die.hi.x) << ' ' << dbu(die.hi.y) << " ) ;\n";
+}
+
+void write_components(const Netlist& nl, const place::Placement& pl,
+                      std::ostream& os) {
+  std::size_t count = 0;
+  for (netlist::CellId id = 0; id < nl.num_cells(); ++id)
+    if (!nl.is_port(id)) ++count;
+  os << "COMPONENTS " << count << " ;\n";
+  for (netlist::CellId id = 0; id < nl.num_cells(); ++id) {
+    if (nl.is_port(id)) continue;
+    const auto& p = pl.of(id);
+    os << "- " << nl.cell(id).name << ' ' << nl.type_of(id).name
+       << " + PLACED ( " << dbu(p.x) << ' ' << dbu(p.y) << " ) N ;\n";
+  }
+  os << "END COMPONENTS\n";
+}
+
+void write_nets(const Netlist& nl, const RoutingResult& routing,
+                const std::vector<RouteTask>& tasks, int max_layer,
+                std::ostream& os) {
+  os << "NETS " << tasks.size() << " ;\n";
+  for (std::size_t ti = 0; ti < tasks.size() && ti < routing.routes.size();
+       ++ti) {
+    const auto& r = routing.routes[ti];
+    const std::string name = (r.net == netlist::kInvalidNet)
+                                 ? "beol_wire_" + std::to_string(ti)
+                                 : nl.net(r.net).name;
+    os << "- " << name << "\n";
+    for (const auto& seg : r.segments) {
+      if (std::min(seg.a.layer, seg.b.layer) > max_layer) continue;
+      const auto a = routing.grid.to_um(seg.a);
+      const auto b = routing.grid.to_um(
+          {seg.b.x, seg.b.y, std::min(seg.b.layer, max_layer)});
+      if (seg.is_via()) {
+        const int top = std::min(std::max(seg.a.layer, seg.b.layer), max_layer);
+        os << "  + ROUTED M" << std::min(seg.a.layer, seg.b.layer) << " ( "
+           << dbu(a.x) << ' ' << dbu(a.y) << " ) VIA" << top << "\n";
+      } else {
+        os << "  + ROUTED M" << seg.a.layer << " ( " << dbu(a.x) << ' '
+           << dbu(a.y) << " ) ( " << dbu(b.x) << ' ' << dbu(b.y) << " )\n";
+      }
+    }
+    os << "  ;\n";
+  }
+  os << "END NETS\n";
+}
+
+}  // namespace
+
+void write_def(const Netlist& nl, const place::Placement& pl,
+               const RoutingResult& routing,
+               const std::vector<RouteTask>& tasks, std::ostream& os) {
+  write_header(nl, pl, os);
+  write_components(nl, pl, os);
+  write_nets(nl, routing, tasks, netlist::MetalStack::kNumLayers, os);
+  os << "END DESIGN\n";
+}
+
+void write_split_def(const Netlist& nl, const place::Placement& pl,
+                     const RoutingResult& routing,
+                     const std::vector<RouteTask>& tasks,
+                     std::size_t num_net_tasks, int split_layer,
+                     std::ostream& os) {
+  write_header(nl, pl, os);
+  write_components(nl, pl, os);
+  // Only net tasks appear in the FEOL; BEOL-only restoration wires vanish.
+  const std::vector<RouteTask> feol_tasks(tasks.begin(),
+                                          tasks.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  std::min(num_net_tasks,
+                                                           tasks.size())));
+  write_nets(nl, routing, feol_tasks, split_layer, os);
+  const SplitView view =
+      split_layout(nl, pl, routing, tasks, num_net_tasks, split_layer);
+  os << "VPINS " << view.num_vpins() << " ;\n";
+  for (const auto& f : view.fragments)
+    for (const auto& v : f.vpins)
+      os << "- ( " << dbu(v.pos.x) << ' ' << dbu(v.pos.y) << " ) M"
+         << split_layer << " DIR ( " << v.dir_dx << ' ' << v.dir_dy << " ) ;\n";
+  os << "END VPINS\nEND DESIGN\n";
+}
+
+std::string to_def(const Netlist& nl, const place::Placement& pl,
+                   const RoutingResult& routing,
+                   const std::vector<RouteTask>& tasks) {
+  std::ostringstream os;
+  write_def(nl, pl, routing, tasks, os);
+  return os.str();
+}
+
+DefSummary read_def_summary(std::istream& is) {
+  DefSummary s;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (tok == "DESIGN") {
+      ls >> s.design;
+    } else if (tok == "COMPONENTS") {
+      ls >> s.components;
+    } else if (tok == "NETS") {
+      ls >> s.nets;
+    } else if (tok == "VPINS") {
+      ls >> s.vpins;
+    } else if (tok == "+") {
+      std::string kind, layer;
+      ls >> kind >> layer;
+      if (kind == "ROUTED" && layer.size() >= 2 && layer[0] == 'M') {
+        const int l = std::atoi(layer.c_str() + 1);
+        if (l >= 1 && l <= netlist::MetalStack::kNumLayers)
+          ++s.segments[static_cast<std::size_t>(l)];
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace sm::core

@@ -1,0 +1,52 @@
+// Simplified DEF-style layout export.
+//
+// The paper releases its protected layouts as DEF files together with a DEF
+// splitting script. We provide the equivalent for this substrate: a
+// DEF-flavoured text dump of the floorplan, placed components, and routed
+// nets (wire segments and vias per metal layer), plus a split export that
+// keeps only the FEOL (layers <= split) and emits the vpin list — exactly
+// what an attacker in the untrusted fab would receive.
+//
+// The syntax follows DEF conventions (DESIGN/DIEAREA/COMPONENTS/NETS) but is
+// intentionally a subset; the reader in this module round-trips it.
+#pragma once
+
+#include "core/split.hpp"
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+#include "route/router.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace sm::core {
+
+/// Write the full layout (all layers).
+void write_def(const netlist::Netlist& nl, const place::Placement& pl,
+               const route::RoutingResult& routing,
+               const std::vector<route::RouteTask>& tasks, std::ostream& os);
+
+/// Write the FEOL-only view after splitting: wiring at layers <= split_layer
+/// plus a VPINS section listing the dangling via locations.
+void write_split_def(const netlist::Netlist& nl, const place::Placement& pl,
+                     const route::RoutingResult& routing,
+                     const std::vector<route::RouteTask>& tasks,
+                     std::size_t num_net_tasks, int split_layer,
+                     std::ostream& os);
+
+std::string to_def(const netlist::Netlist& nl, const place::Placement& pl,
+                   const route::RoutingResult& routing,
+                   const std::vector<route::RouteTask>& tasks);
+
+/// Parsed summary of a DEF dump (component count, net count, per-layer
+/// segment counts) — enough for integrity checks and tests.
+struct DefSummary {
+  std::string design;
+  std::size_t components = 0;
+  std::size_t nets = 0;
+  std::size_t vpins = 0;
+  std::array<std::size_t, netlist::MetalStack::kNumLayers + 1> segments{};
+};
+DefSummary read_def_summary(std::istream& is);
+
+}  // namespace sm::core

@@ -1,0 +1,125 @@
+#include "core/libgen.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace sm::core {
+
+using netlist::CellLibrary;
+using netlist::CellType;
+
+namespace {
+
+void write_timing_arc(std::ostream& os, const char* from, const CellType& t) {
+  os << "      timing() {\n"
+     << "        related_pin : \"" << from << "\";\n"
+     << "        timing_sense : positive_unate;\n"
+     << "        cell_rise(scalar) { values(\"" << t.intrinsic_delay_ps / 1000.0
+     << "\"); }\n"
+     << "        cell_fall(scalar) { values(\"" << t.intrinsic_delay_ps / 1000.0
+     << "\"); }\n"
+     << "        rise_resistance : " << t.drive_res_kohm << ";\n"
+     << "        fall_resistance : " << t.drive_res_kohm << ";\n"
+     << "      }\n";
+}
+
+}  // namespace
+
+void write_correction_liberty(const CellLibrary& lib, std::ostream& os) {
+  const CellType& corr = lib.type(lib.correction_cell());
+  const CellType& lift = lib.type(lib.naive_lift_cell());
+
+  os << "/* Correction-cell library definitions (on top of the Nangate-45-"
+        "like base library).\n"
+        " * SM_CORR is modeled as a 2-input-2-output OR gate; power/timing\n"
+        " * characteristics are leveraged from BUF_X2. Pins sit in M"
+     << corr.pin_layer << ".\n */\n";
+  os << "library (sm_correction_cells) {\n";
+  os << "  cell (" << corr.name << ") {\n"
+     << "    area : " << corr.area_um2 << ";\n"
+     << "    cell_leakage_power : " << corr.leakage_nw << ";\n";
+  for (const char* pin : {"C", "D"}) {
+    os << "    pin (" << pin << ") {\n"
+       << "      direction : input;\n"
+       << "      capacitance : " << corr.input_cap_ff / 1000.0 << ";\n"
+       << "    }\n";
+  }
+  // Output Y: true arc from C, misleading arc from D (disabled after
+  // restoration); output Z: misleading arc from C, true arc from D.
+  for (const char* out : {"Y", "Z"}) {
+    os << "    pin (" << out << ") {\n"
+       << "      direction : output;\n"
+       << "      function : \"(C | D)\";\n";
+    write_timing_arc(os, "C", corr);
+    write_timing_arc(os, "D", corr);
+    os << "    }\n";
+  }
+  os << "  }\n";
+
+  os << "  cell (" << lift.name << ") {\n"
+     << "    area : " << lift.area_um2 << ";\n"
+     << "    cell_leakage_power : " << lift.leakage_nw << ";\n"
+     << "    pin (A) {\n      direction : input;\n      capacitance : "
+     << lift.input_cap_ff / 1000.0 << ";\n    }\n"
+     << "    pin (Y) {\n      direction : output;\n      function : \"A\";\n";
+  write_timing_arc(os, "A", lift);
+  os << "    }\n  }\n}\n";
+}
+
+void write_correction_lef(const CellLibrary& lib, std::ostream& os) {
+  const CellType& corr = lib.type(lib.correction_cell());
+  const auto& layer = lib.metal().layer(corr.pin_layer);
+  const double pitch = layer.pitch_um;
+  const double w = corr.width_um;
+  const double h = lib.row_height_um();
+
+  os << "# LEF-style macro for the correction cell. Pins are placed on "
+     << layer.name << " tracks\n"
+     << "# (pitch " << pitch << " um) so lifting and BEOL re-routing do not "
+        "add congestion.\n"
+     << "# The macro has no device-layer geometry: overlap with standard "
+        "cells is legal.\n";
+  os << "MACRO " << corr.name << "\n  CLASS COVER ;\n  SIZE " << w << " BY "
+     << h << " ;\n";
+  struct PinDef {
+    const char* name;
+    const char* dir;
+    int track;
+  };
+  const PinDef pins[] = {
+      {"C", "INPUT", 0}, {"D", "INPUT", 1}, {"Y", "OUTPUT", 2}, {"Z", "OUTPUT", 3}};
+  for (const auto& p : pins) {
+    const double y0 = (p.track + 0.5) * pitch;
+    os << "  PIN " << p.name << "\n    DIRECTION " << p.dir << " ;\n"
+       << "    PORT\n      LAYER " << layer.name << " ;\n        RECT 0.0 "
+       << y0 - pitch / 4 << ' ' << w << ' ' << y0 + pitch / 4 << " ;\n"
+       << "    END\n  END " << p.name << "\n";
+  }
+  os << "END " << corr.name << "\n";
+}
+
+void write_restore_constraints(const std::vector<std::string>& instances,
+                               std::ostream& os) {
+  os << "# Restoration constraints: only the true paths C->Y and D->Z remain\n"
+     << "# active for timing/power optimization and evaluation (paper "
+        "Sec. 4).\n";
+  for (const auto& inst : instances) {
+    os << "set_disable_timing " << inst << " -from C -to Z\n";
+    os << "set_disable_timing " << inst << " -from D -to Y\n";
+  }
+}
+
+std::string correction_liberty(const CellLibrary& lib) {
+  std::ostringstream os;
+  write_correction_liberty(lib, os);
+  return os.str();
+}
+
+std::string correction_lef(const CellLibrary& lib) {
+  std::ostringstream os;
+  write_correction_lef(lib, os);
+  return os.str();
+}
+
+}  // namespace sm::core

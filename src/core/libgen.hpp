@@ -1,0 +1,38 @@
+// Library-definition export for the custom cells.
+//
+// The paper releases "the library definitions for the correction cells" on
+// top of the Nangate 45nm library. This module generates the equivalent
+// artifacts for this substrate:
+//   - a Liberty-style (.lib) snippet for SM_CORR (2-input/2-output OR-type,
+//     timing/power borrowed from BUF_X2, all four arcs C->Y/C->Z/D->Y/D->Z)
+//     and SM_LIFT, plus
+//   - a LEF-style macro with the pin geometry on the configured high metal
+//     layer (M6/M8), sized and offset to land on that layer's tracks, and
+//   - the set_disable_timing command list used at restoration time to kill
+//     the misleading arcs (paper Sec. 4).
+#pragma once
+
+#include "netlist/cell_library.hpp"
+
+#include <iosfwd>
+#include <vector>
+#include <string>
+
+namespace sm::core {
+
+/// Liberty-style description of SM_CORR and SM_LIFT for `lib`.
+void write_correction_liberty(const netlist::CellLibrary& lib,
+                              std::ostream& os);
+
+/// LEF-style macros with pins on the correction layer.
+void write_correction_lef(const netlist::CellLibrary& lib, std::ostream& os);
+
+/// The restoration-time timing constraints: disable the erroneous arcs
+/// (C->Z, D->Y) of every correction cell instance name passed in.
+void write_restore_constraints(const std::vector<std::string>& instances,
+                               std::ostream& os);
+
+std::string correction_liberty(const netlist::CellLibrary& lib);
+std::string correction_lef(const netlist::CellLibrary& lib);
+
+}  // namespace sm::core

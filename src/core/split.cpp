@@ -1,0 +1,195 @@
+#include "core/split.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace sm::core {
+
+using netlist::NetId;
+using netlist::Netlist;
+using route::RouteGrid;
+using util::GridPoint;
+
+std::size_t SplitView::num_vpins() const {
+  std::size_t n = 0;
+  for (const auto& f : fragments) n += f.vpins.size();
+  return n;
+}
+
+std::vector<std::size_t> SplitView::open_driver_fragments() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < fragments.size(); ++i)
+    if (fragments[i].has_driver && !fragments[i].vpins.empty()) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> SplitView::open_sink_fragments() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < fragments.size(); ++i)
+    if (!fragments[i].has_driver && !fragments[i].sinks.empty()) out.push_back(i);
+  return out;
+}
+
+namespace {
+
+/// Per-net FEOL connectivity built by expanding route segments into grid
+/// nodes (layers <= split only) and union-finding adjacency.
+class FragmentBuilder {
+ public:
+  explicit FragmentBuilder(const RouteGrid& grid, int split)
+      : grid_(&grid), split_(split) {}
+
+  void add_segment(const route::RouteSegment& seg) {
+    GridPoint cur = seg.a;
+    for (;;) {
+      GridPoint nxt = cur;
+      bool done = (cur == seg.b);
+      if (!done) {
+        if (cur.x != seg.b.x) nxt.x += (seg.b.x > cur.x) ? 1 : -1;
+        else if (cur.y != seg.b.y) nxt.y += (seg.b.y > cur.y) ? 1 : -1;
+        else nxt.layer += (seg.b.layer > cur.layer) ? 1 : -1;
+      }
+      const bool cur_feol = cur.layer <= split_;
+      const bool nxt_feol = nxt.layer <= split_;
+      if (cur_feol) touch(cur);
+      if (!done) {
+        if (cur_feol && nxt_feol) {
+          link(cur, nxt);
+        } else if (cur_feol != nxt_feol) {
+          // Crossing the split boundary: the FEOL-side node is a vpin.
+          const GridPoint& feol_side = cur_feol ? cur : nxt;
+          vpin_nodes_.push_back(grid_->index(feol_side));
+        }
+        // Remember lateral wire direction at the split layer for dangling
+        // hints.
+        if (cur_feol && nxt_feol && cur.layer == split_ &&
+            nxt.layer == split_) {
+          last_dir_[grid_->index(cur)] = {nxt.x - cur.x, nxt.y - cur.y};
+          last_dir_[grid_->index(nxt)] = {nxt.x - cur.x, nxt.y - cur.y};
+        }
+      }
+      if (done) break;
+      cur = nxt;
+    }
+  }
+
+  /// Component id of a FEOL node; npos if the node is not in the FEOL part.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t component_of(const GridPoint& g) {
+    if (g.layer > split_) return npos;
+    const auto it = node_comp_.find(grid_->index(g));
+    return it == node_comp_.end() ? npos : find(it->second);
+  }
+
+  /// Finalize: returns (component -> vpins) plus canonical component count.
+  std::map<std::size_t, std::vector<VPin>> vpins_by_component() {
+    std::map<std::size_t, std::vector<VPin>> out;
+    for (const auto nidx : vpin_nodes_) {
+      const auto it = node_comp_.find(nidx);
+      if (it == node_comp_.end()) continue;
+      const std::size_t comp = find(it->second);
+      VPin v;
+      v.grid = grid_->at(nidx);
+      v.pos = grid_->to_um(v.grid);
+      const auto dit = last_dir_.find(nidx);
+      if (dit != last_dir_.end()) {
+        v.dir_dx = dit->second.first;
+        v.dir_dy = dit->second.second;
+      }
+      out[comp].push_back(v);
+    }
+    return out;
+  }
+
+ private:
+  void touch(const GridPoint& g) {
+    const std::size_t idx = grid_->index(g);
+    if (!node_comp_.count(idx)) {
+      const std::size_t c = parent_.size();
+      parent_.push_back(c);
+      node_comp_[idx] = c;
+    }
+  }
+  void link(const GridPoint& a, const GridPoint& b) {
+    touch(a);
+    touch(b);
+    const std::size_t ra = find(node_comp_[grid_->index(a)]);
+    const std::size_t rb = find(node_comp_[grid_->index(b)]);
+    if (ra != rb) parent_[ra] = rb;
+  }
+  std::size_t find(std::size_t c) {
+    while (parent_[c] != c) {
+      parent_[c] = parent_[parent_[c]];
+      c = parent_[c];
+    }
+    return c;
+  }
+
+  const RouteGrid* grid_;
+  int split_;
+  std::map<std::size_t, std::size_t> node_comp_;  ///< node index -> comp
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> vpin_nodes_;
+  std::map<std::size_t, std::pair<int, int>> last_dir_;
+};
+
+}  // namespace
+
+SplitView split_layout(const Netlist& nl, const place::Placement& pl,
+                       const route::RoutingResult& routing,
+                       const std::vector<route::RouteTask>& tasks,
+                       std::size_t num_net_tasks, int split_layer) {
+  if (split_layer < 1 || split_layer >= routing.grid.layers())
+    throw std::invalid_argument("split_layout: bad split layer");
+  SplitView view;
+  view.split_layer = split_layer;
+
+  for (std::size_t ti = 0; ti < num_net_tasks && ti < routing.routes.size();
+       ++ti) {
+    const auto& r = routing.routes[ti];
+    if (!r.success || r.net == netlist::kInvalidNet) continue;
+    const auto& net = nl.net(r.net);
+
+    FragmentBuilder fb(routing.grid, split_layer);
+    for (const auto& seg : r.segments) fb.add_segment(seg);
+
+    // Map terminals to components via their pin-layer grid nodes.
+    std::map<std::size_t, Fragment> frags;  // component -> fragment
+    auto frag_for = [&](std::size_t comp) -> Fragment& {
+      auto [it, fresh] = frags.try_emplace(comp);
+      if (fresh) it->second.net = r.net;
+      return it->second;
+    };
+
+    const GridPoint drv =
+        routing.grid.snap(pl.of(net.driver), nl.type_of(net.driver).pin_layer);
+    const std::size_t drv_comp = fb.component_of(drv);
+    if (drv_comp != FragmentBuilder::npos) {
+      Fragment& f = frag_for(drv_comp);
+      f.has_driver = true;
+      f.anchor = pl.of(net.driver);
+    }
+    for (const auto& s : net.sinks) {
+      const GridPoint pin =
+          routing.grid.snap(pl.of(s.cell), nl.type_of(s.cell).pin_layer);
+      const std::size_t comp = fb.component_of(pin);
+      if (comp == FragmentBuilder::npos) continue;
+      Fragment& f = frag_for(comp);
+      f.sinks.push_back(s);
+      if (!f.has_driver && f.sinks.size() == 1) f.anchor = pl.of(s.cell);
+    }
+    for (auto& [comp, vpins] : fb.vpins_by_component()) {
+      Fragment& f = frag_for(comp);
+      f.vpins.insert(f.vpins.end(), vpins.begin(), vpins.end());
+      if (!f.has_driver && f.sinks.empty() && !f.vpins.empty())
+        f.anchor = f.vpins.front().pos;
+    }
+    for (auto& [comp, f] : frags) view.fragments.push_back(std::move(f));
+  }
+  (void)tasks;
+  return view;
+}
+
+}  // namespace sm::core

@@ -1,0 +1,54 @@
+// Split-manufacturing cut: everything at or below the split layer is the
+// FEOL (visible to the untrusted fab); everything above is the BEOL.
+//
+// For each routed net the FEOL part decomposes into connected *fragments*.
+// A fragment that reaches the split layer and continues upward exposes one
+// or more vpins ("virtual pins" [6,7]): the via locations in the topmost
+// FEOL layer where the BEOL will connect. The metal stub attached to a vpin
+// in the topmost FEOL layer is the "dangling wire"; its direction is one of
+// the attack hints of Wang et al. [5].
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+#include "route/router.hpp"
+
+#include <vector>
+
+namespace sm::core {
+
+struct VPin {
+  util::GridPoint grid;   ///< location at the split layer
+  util::Point pos;        ///< same, in microns
+  int dir_dx = 0;         ///< dangling-wire direction (unit or 0)
+  int dir_dy = 0;
+};
+
+struct Fragment {
+  netlist::NetId net = netlist::kInvalidNet;  ///< net tag of the route
+  bool has_driver = false;
+  std::vector<netlist::Sink> sinks;  ///< sink pins inside this fragment
+  std::vector<VPin> vpins;
+  util::Point anchor;  ///< representative location (driver pin or first pin)
+};
+
+struct SplitView {
+  int split_layer = 3;
+  std::vector<Fragment> fragments;
+
+  std::size_t num_vpins() const;
+  /// Fragments that contain the driver and expose at least one vpin.
+  std::vector<std::size_t> open_driver_fragments() const;
+  /// Fragments that contain sinks but not the driver.
+  std::vector<std::size_t> open_sink_fragments() const;
+};
+
+/// Cut the fabricated layout after `split_layer`. Only the first
+/// `num_net_tasks` routes are nets (the rest are BEOL-only restoration
+/// wires, invisible in the FEOL).
+SplitView split_layout(const netlist::Netlist& nl, const place::Placement& pl,
+                       const route::RoutingResult& routing,
+                       const std::vector<route::RouteTask>& tasks,
+                       std::size_t num_net_tasks, int split_layer);
+
+}  // namespace sm::core

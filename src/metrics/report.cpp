@@ -1,0 +1,82 @@
+#include "metrics/report.hpp"
+
+#include "util/table.hpp"
+
+namespace sm::metrics {
+
+using netlist::NetId;
+using netlist::Netlist;
+
+std::vector<double> connection_distances(const Netlist& truth,
+                                         const place::Placement& pl,
+                                         const std::vector<NetId>& nets) {
+  std::vector<double> out;
+  for (const NetId n : nets) {
+    const auto d = place::driver_sink_distances(truth, pl, n);
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return out;
+}
+
+std::vector<double> all_connection_distances(const Netlist& truth,
+                                             const place::Placement& pl) {
+  std::vector<NetId> nets(truth.num_nets());
+  for (NetId n = 0; n < truth.num_nets(); ++n) nets[n] = n;
+  return connection_distances(truth, pl, nets);
+}
+
+std::array<double, netlist::MetalStack::kNumLayers + 1> per_layer_wirelength(
+    const route::RoutingResult& routing, const std::vector<NetId>& nets) {
+  std::array<double, netlist::MetalStack::kNumLayers + 1> wire{};
+  std::vector<bool> want;
+  bool filter = !nets.empty();
+  if (filter) {
+    std::size_t max_net = 0;
+    for (const NetId n : nets) max_net = std::max<std::size_t>(max_net, n);
+    want.assign(max_net + 1, false);
+    for (const NetId n : nets) want[n] = true;
+  }
+  for (const auto& r : routing.routes) {
+    if (r.net == netlist::kInvalidNet) continue;
+    if (filter && (r.net >= want.size() || !want[r.net])) continue;
+    for (const auto& seg : r.segments) {
+      if (seg.is_via()) continue;
+      wire[static_cast<std::size_t>(seg.a.layer)] +=
+          seg.gcell_length() * routing.grid.gcell_um();
+    }
+  }
+  return wire;
+}
+
+std::array<double, netlist::MetalStack::kNumLayers + 1> layer_shares(
+    const std::array<double, netlist::MetalStack::kNumLayers + 1>& wire) {
+  std::array<double, netlist::MetalStack::kNumLayers + 1> share{};
+  double total = 0;
+  for (const double w : wire) total += w;
+  if (total <= 0) return share;
+  for (std::size_t i = 0; i < wire.size(); ++i) share[i] = 100.0 * wire[i] / total;
+  return share;
+}
+
+ViaDelta via_delta(const route::RoutingStats& base,
+                   const route::RoutingStats& other) {
+  ViaDelta d;
+  for (std::size_t l = 1; l < base.vias.size(); ++l) {
+    d.base[l] = base.vias[l];
+    d.other[l] = other.vias[l];
+    d.pct[l] = util::pct_delta(static_cast<double>(base.vias[l]),
+                               static_cast<double>(other.vias[l]));
+  }
+  d.total_pct = util::pct_delta(static_cast<double>(base.total_vias()),
+                                static_cast<double>(other.total_vias()));
+  return d;
+}
+
+std::string ViaDelta::cell(int layer_boundary) const {
+  const auto l = static_cast<std::size_t>(layer_boundary);
+  if (base[l] > 0) return util::Table::pct(pct[l], 2);
+  if (other[l] == 0) return "0";
+  return "+" + util::Table::count(other[l]);
+}
+
+}  // namespace sm::metrics

@@ -1,0 +1,53 @@
+// Evaluation metrics shared by the benches (Tables 1-6, Figs. 4-6).
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+#include "route/router.hpp"
+#include "util/stats.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace sm::metrics {
+
+/// Manhattan distances between *truly connected* gates: for every net in
+/// `nets` (connectivity read from `truth`), the driver-to-sink distance of
+/// each connection under placement `pl`. This is the paper's Table 1 / Fig. 4
+/// quantity — for the proposed defense, `truth` is the original netlist but
+/// `pl` places the erroneous one, so the distances are randomized.
+std::vector<double> connection_distances(const netlist::Netlist& truth,
+                                         const place::Placement& pl,
+                                         const std::vector<netlist::NetId>& nets);
+
+/// Distances for all nets of `truth`.
+std::vector<double> all_connection_distances(const netlist::Netlist& truth,
+                                             const place::Placement& pl);
+
+/// Per-layer wirelength (um, index 1..10) restricted to routes whose net tag
+/// is in `nets` (empty = all net-tagged routes). Fig. 5's quantity.
+std::array<double, netlist::MetalStack::kNumLayers + 1> per_layer_wirelength(
+    const route::RoutingResult& routing,
+    const std::vector<netlist::NetId>& nets = {});
+
+/// Percentage share per layer (sums to 100 unless empty).
+std::array<double, netlist::MetalStack::kNumLayers + 1> layer_shares(
+    const std::array<double, netlist::MetalStack::kNumLayers + 1>& wire);
+
+/// Via-count deltas of `other` over `base`, per boundary V12..V910 plus the
+/// total (Table 2's Lifted%/Proposed% rows). When the baseline count is zero
+/// a percentage is meaningless; `cell()` then renders the absolute addition.
+struct ViaDelta {
+  std::array<double, netlist::MetalStack::kNumLayers> pct{};  ///< index 1..9
+  std::array<std::uint64_t, netlist::MetalStack::kNumLayers> base{};
+  std::array<std::uint64_t, netlist::MetalStack::kNumLayers> other{};
+  double total_pct = 0.0;
+
+  /// "12.34%" when base[l] > 0, "+N" otherwise.
+  std::string cell(int layer_boundary) const;
+};
+ViaDelta via_delta(const route::RoutingStats& base,
+                   const route::RoutingStats& other);
+
+}  // namespace sm::metrics

@@ -1,0 +1,128 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sm::netlist {
+
+Netlist::Netlist(const CellLibrary& lib, std::string name)
+    : lib_(&lib), name_(std::move(name)) {}
+
+NetId Netlist::add_net(const std::string& net_name, CellId driver) {
+  Net n;
+  n.name = net_name;
+  n.driver = driver;
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+NetId Netlist::add_primary_input(const std::string& pi_name) {
+  Cell c;
+  c.name = pi_name;
+  c.type = lib_->input_port();
+  cells_.push_back(std::move(c));
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  const NetId net = add_net(pi_name, id);
+  cells_[id].output = net;
+  pis_.push_back(id);
+  return net;
+}
+
+CellId Netlist::add_primary_output(const std::string& po_name, NetId net) {
+  Cell c;
+  c.name = po_name;
+  c.type = lib_->output_port();
+  c.inputs.assign(1, kInvalidNet);
+  cells_.push_back(std::move(c));
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  pos_.push_back(id);
+  connect_input(id, 0, net);
+  return id;
+}
+
+CellId Netlist::add_cell(const std::string& cell_name, CellTypeId type) {
+  const CellType& t = lib_->type(type);
+  Cell c;
+  c.name = cell_name;
+  c.type = type;
+  c.inputs.assign(static_cast<std::size_t>(t.num_inputs), kInvalidNet);
+  cells_.push_back(std::move(c));
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  cells_[id].output = add_net(cell_name + "_o", id);
+  return id;
+}
+
+void Netlist::connect_input(CellId cell_id, int pin, NetId net) {
+  Cell& c = cells_.at(cell_id);
+  const auto pin_idx = static_cast<std::size_t>(pin);
+  if (pin_idx >= c.inputs.size())
+    throw std::out_of_range("connect_input: pin out of range");
+  if (c.inputs[pin_idx] != kInvalidNet) detach_sink(c.inputs[pin_idx], cell_id, pin);
+  c.inputs[pin_idx] = net;
+  nets_.at(net).sinks.push_back(Sink{cell_id, pin});
+}
+
+void Netlist::reconnect_sink(CellId cell_id, int pin, NetId new_net) {
+  connect_input(cell_id, pin, new_net);
+}
+
+void Netlist::detach_sink(NetId net, CellId cell_id, int pin) {
+  auto& sinks = nets_.at(net).sinks;
+  const auto it = std::find(sinks.begin(), sinks.end(), Sink{cell_id, pin});
+  if (it != sinks.end()) sinks.erase(it);
+}
+
+NetId Netlist::primary_input_net(std::size_t i) const {
+  return cells_.at(pis_.at(i)).output;
+}
+
+NetId Netlist::primary_output_net(std::size_t i) const {
+  return cells_.at(pos_.at(i)).inputs.at(0);
+}
+
+std::size_t Netlist::num_gates() const {
+  std::size_t n = 0;
+  for (CellId id = 0; id < cells_.size(); ++id)
+    if (!is_port(id)) ++n;
+  return n;
+}
+
+CellId Netlist::find_cell(const std::string& cell_name) const {
+  for (CellId id = 0; id < cells_.size(); ++id)
+    if (cells_[id].name == cell_name) return id;
+  return kInvalidCell;
+}
+
+void Netlist::validate() const {
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    const Cell& c = cells_[id];
+    const CellType& t = lib_->type(c.type);
+    if (c.inputs.size() != static_cast<std::size_t>(t.num_inputs))
+      throw std::logic_error("validate: cell '" + c.name + "' arity mismatch");
+    for (std::size_t p = 0; p < c.inputs.size(); ++p) {
+      const NetId n = c.inputs[p];
+      if (n == kInvalidNet)
+        throw std::logic_error("validate: cell '" + c.name +
+                               "' has unconnected pin " + std::to_string(p));
+      const auto& sinks = nets_.at(n).sinks;
+      if (std::find(sinks.begin(), sinks.end(),
+                    Sink{id, static_cast<int>(p)}) == sinks.end())
+        throw std::logic_error("validate: sink list of net '" + nets_.at(n).name +
+                               "' missing cell '" + c.name + "'");
+    }
+    if (c.output != kInvalidNet && nets_.at(c.output).driver != id)
+      throw std::logic_error("validate: net '" + nets_.at(c.output).name +
+                             "' driver mismatch for cell '" + c.name + "'");
+  }
+  for (NetId n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    if (net.driver == kInvalidCell)
+      throw std::logic_error("validate: net '" + net.name + "' undriven");
+    for (const Sink& s : net.sinks) {
+      if (cells_.at(s.cell).inputs.at(static_cast<std::size_t>(s.pin)) != n)
+        throw std::logic_error("validate: stale sink on net '" + net.name + "'");
+    }
+  }
+}
+
+}  // namespace sm::netlist

@@ -1,0 +1,54 @@
+#include "netlist/tech.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sm::netlist {
+
+MetalStack::MetalStack() {
+  // Pitch/parasitic progression loosely follows FreePDK45: M1-M3 1x pitch,
+  // M4-M6 2x, M7-M8 4x, M9-M10 8x. Wider, thicker wires upstairs mean lower
+  // resistance and slightly lower capacitance per micron.
+  struct Row { double pitch, cap, res; };
+  constexpr Row rows[kNumLayers] = {
+      {0.19, 0.22, 3.80},   // M1
+      {0.19, 0.22, 3.80},   // M2
+      {0.19, 0.22, 3.80},   // M3
+      {0.28, 0.20, 1.90},   // M4
+      {0.28, 0.20, 1.90},   // M5
+      {0.28, 0.20, 1.90},   // M6
+      {0.80, 0.18, 0.48},   // M7
+      {0.80, 0.18, 0.48},   // M8
+      {1.60, 0.16, 0.12},   // M9
+      {1.60, 0.16, 0.12},   // M10
+  };
+  for (int i = 0; i < kNumLayers; ++i) {
+    MetalLayer& m = layers_[static_cast<std::size_t>(i)];
+    m.index = i + 1;
+    m.name = "M" + std::to_string(i + 1);
+    // M1 horizontal, M2 vertical, alternating upward.
+    m.preferred = (i % 2 == 0) ? Direction::Horizontal : Direction::Vertical;
+    m.pitch_um = rows[i].pitch;
+    m.cap_ff_per_um = rows[i].cap;
+    m.res_ohm_per_um = rows[i].res;
+  }
+}
+
+const MetalLayer& MetalStack::layer(int index) const {
+  if (index < 1 || index > kNumLayers)
+    throw std::out_of_range("MetalStack::layer: index " + std::to_string(index));
+  return layers_[static_cast<std::size_t>(index - 1)];
+}
+
+double MetalStack::via_cap_ff(int lower_layer) const {
+  // Vias to coarser layers are physically larger.
+  const MetalLayer& m = layer(lower_layer);
+  return 0.1 + 0.2 * m.pitch_um;
+}
+
+double MetalStack::via_res_ohm(int lower_layer) const {
+  const MetalLayer& m = layer(lower_layer);
+  return 8.0 / (m.pitch_um / 0.19);
+}
+
+}  // namespace sm::netlist

@@ -1,0 +1,121 @@
+#include "netlist/topo.hpp"
+
+#include <stdexcept>
+
+namespace sm::netlist {
+namespace {
+
+/// Combinational in-degree: number of input pins whose driver is a
+/// combinational cell (ports/DFF drivers do not constrain ordering).
+std::vector<int> comb_indegree(const Netlist& nl) {
+  std::vector<int> indeg(nl.num_cells(), 0);
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    const Cell& c = nl.cell(id);
+    for (NetId in : c.inputs) {
+      if (in == kInvalidNet) continue;
+      const CellId drv = nl.net(in).driver;
+      if (nl.is_combinational(drv)) ++indeg[id];
+    }
+  }
+  return indeg;
+}
+
+}  // namespace
+
+std::optional<std::vector<CellId>> topological_order(const Netlist& nl) {
+  std::vector<int> indeg = comb_indegree(nl);
+  std::vector<CellId> order;
+  order.reserve(nl.num_cells());
+  std::vector<CellId> frontier;
+  for (CellId id = 0; id < nl.num_cells(); ++id)
+    if (indeg[id] == 0) frontier.push_back(id);
+
+  while (!frontier.empty()) {
+    const CellId id = frontier.back();
+    frontier.pop_back();
+    order.push_back(id);
+    // Only combinational cells propagate dependencies downstream.
+    if (!nl.is_combinational(id)) continue;
+    const NetId out = nl.cell(id).output;
+    if (out == kInvalidNet) continue;
+    for (const Sink& s : nl.net(out).sinks) {
+      if (--indeg[s.cell] == 0) frontier.push_back(s.cell);
+    }
+  }
+  if (order.size() != nl.num_cells()) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const Netlist& nl) { return topological_order(nl).has_value(); }
+
+std::vector<int> levelize(const Netlist& nl) {
+  const auto order = topological_order(nl);
+  if (!order) throw std::logic_error("levelize: combinational cycle present");
+  std::vector<int> level(nl.num_cells(), 0);
+  for (const CellId id : *order) {
+    int lv = 0;
+    for (NetId in : nl.cell(id).inputs) {
+      if (in == kInvalidNet) continue;
+      const CellId drv = nl.net(in).driver;
+      if (nl.is_combinational(drv)) lv = std::max(lv, level[drv] + 1);
+    }
+    level[id] = lv;
+  }
+  return level;
+}
+
+bool creates_combinational_loop(const Netlist& nl, CellId driver,
+                                CellId sink_cell) {
+  // A DFF/port output does not combinationally depend on its inputs, so a
+  // new edge from it can never close a combinational cycle.
+  if (!nl.is_combinational(driver)) return false;
+  if (driver == sink_cell) return true;
+  if (!nl.is_combinational(sink_cell)) return false;  // path dies immediately
+  // DFS from sink_cell's fanout looking for `driver`.
+  std::vector<bool> seen(nl.num_cells(), false);
+  std::vector<CellId> stack{sink_cell};
+  seen[sink_cell] = true;
+  while (!stack.empty()) {
+    const CellId cur = stack.back();
+    stack.pop_back();
+    const NetId out = nl.cell(cur).output;
+    if (out == kInvalidNet) continue;
+    for (const Sink& s : nl.net(out).sinks) {
+      if (s.cell == driver) return true;
+      if (!seen[s.cell] && nl.is_combinational(s.cell)) {
+        seen[s.cell] = true;
+        stack.push_back(s.cell);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<CellId> combinational_fanout(const Netlist& nl, NetId net) {
+  std::vector<bool> seen(nl.num_cells(), false);
+  std::vector<CellId> result;
+  std::vector<CellId> stack;
+  for (const Sink& s : nl.net(net).sinks) {
+    if (!seen[s.cell]) {
+      seen[s.cell] = true;
+      stack.push_back(s.cell);
+    }
+  }
+  while (!stack.empty()) {
+    const CellId cur = stack.back();
+    stack.pop_back();
+    result.push_back(cur);
+    if (!nl.is_combinational(cur)) continue;
+    const NetId out = nl.cell(cur).output;
+    if (out == kInvalidNet) continue;
+    for (const Sink& s : nl.net(out).sinks) {
+      if (!seen[s.cell]) {
+        seen[s.cell] = true;
+        stack.push_back(s.cell);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sm::netlist

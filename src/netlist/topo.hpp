@@ -1,0 +1,38 @@
+// Topological utilities over the combinational dependency graph.
+//
+// DFF cells break dependency cycles: a DFF output is available at level 0
+// (like a primary input) and a DFF input pin terminates a combinational path
+// (like a primary output). The paper's randomizer must never create a
+// *combinational* loop — `creates_combinational_loop` is the check it calls
+// before committing a swap (loops would let an attacker spot the
+// modifications, per Wang et al.).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace sm::netlist {
+
+/// Cells in combinational evaluation order (ports and DFFs included as
+/// sources/sinks). Returns std::nullopt if a combinational cycle exists.
+std::optional<std::vector<CellId>> topological_order(const Netlist& nl);
+
+/// True iff the netlist has no combinational cycle.
+bool is_acyclic(const Netlist& nl);
+
+/// Combinational depth (level) per cell; sources are level 0.
+/// Requires an acyclic netlist (throws std::logic_error otherwise).
+std::vector<int> levelize(const Netlist& nl);
+
+/// Would connecting the output of `driver` to an input of `sink_cell`
+/// create a combinational cycle? I.e., is `driver` combinationally reachable
+/// *from* `sink_cell`'s output? (DFS over fanout, stopping at DFFs/ports.)
+bool creates_combinational_loop(const Netlist& nl, CellId driver,
+                                CellId sink_cell);
+
+/// Transitive fanout cell set of a net through combinational cells.
+std::vector<CellId> combinational_fanout(const Netlist& nl, NetId net);
+
+}  // namespace sm::netlist

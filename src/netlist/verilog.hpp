@@ -1,0 +1,29 @@
+// Structural Verilog writer/reader for the library's gate-level subset.
+//
+// The paper exports protected layouts as DEF/Verilog for the community; we
+// provide the Verilog side here (layout export lives in sm::core::defio).
+// Supported subset: one module, scalar ports, `wire` declarations, named
+// port connections (.A(net)), cell types from the CellLibrary. Input pins
+// are named A, B, C, ... and the output pin is Y.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace sm::netlist {
+
+/// Serialize `nl` as structural Verilog.
+void write_verilog(const Netlist& nl, std::ostream& os);
+std::string to_verilog(const Netlist& nl);
+
+/// Parse the supported structural subset. Throws std::runtime_error with a
+/// line number on malformed input or unknown cell types.
+Netlist read_verilog(const CellLibrary& lib, std::istream& is);
+Netlist read_verilog_string(const CellLibrary& lib, const std::string& text);
+
+/// Pin naming convention shared by writer and reader.
+std::string input_pin_name(int pin);   ///< 0 -> "A", 1 -> "B", ...
+int input_pin_index(const std::string& name);  ///< "A" -> 0; -1 if not input
+}  // namespace sm::netlist

@@ -1,0 +1,48 @@
+// Post-placement drive-strength fixing (repeater insertion).
+//
+// Commercial flows buffer long nets and upsize overloaded drivers; the
+// resulting drive strengths are one of the proximity-attack hints the paper
+// discusses (Sec. 3): "a large buffer such as BUFX8 typically hints that
+// its sink(s) is/are relatively far away. In the original netlist, however,
+// this buffer may actually drive some nearby sink(s)." Running this pass on
+// the *erroneous* netlist therefore bakes misleading drive strengths into
+// the FEOL — exactly the paper's argument.
+//
+// The pass inserts a buffer of distance-appropriate strength next to the
+// driver of every net whose placed HPWL exceeds a threshold, re-pointing
+// the far sinks at the buffer output. Function is preserved (buffers are
+// identity); sequential elements are untouched.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace sm::place {
+
+struct BufferingOptions {
+  /// Nets with HPWL above this (in units of average row height x this
+  /// factor... plainly: microns) get a repeater.
+  double hpwl_threshold_um = 25.0;
+  /// Strength thresholds: HPWL above k-th entry selects strength 2/4/8.
+  double strength2_um = 25.0;
+  double strength4_um = 50.0;
+  double strength8_um = 100.0;
+  /// Nets to skip (e.g. protected nets whose connectivity the defense owns).
+  std::vector<netlist::NetId> skip;
+};
+
+struct BufferingResult {
+  std::size_t buffers_inserted = 0;
+  std::vector<netlist::CellId> buffers;  ///< the new repeater cells
+};
+
+/// Insert repeaters into `nl` based on placement `pl`; new cells are placed
+/// at their net's bounding-box center (caller re-legalizes via Placer or
+/// legalize_rows). Extends pl.pos for the new cells.
+BufferingResult insert_buffers(netlist::Netlist& nl, Placement& pl,
+                               const BufferingOptions& opts = {});
+
+}  // namespace sm::place

@@ -1,0 +1,252 @@
+#include "place/fm.hpp"
+
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+namespace sm::place {
+namespace {
+
+/// Gain-bucket FM kernel. Buckets give O(1) best-gain selection and O(1)
+/// (amortized) gain updates, the property that makes FM near-linear per pass.
+class State {
+ public:
+  explicit State(const FmProblem& prob) : p_(&prob) {
+    const std::size_t n = prob.weight.size();
+    item_edges_.resize(n);
+    for (std::uint32_t e = 0; e < prob.edges.size(); ++e)
+      for (const auto it : prob.edges[e]) {
+        if (it >= n) throw std::out_of_range("fm: edge references bad item");
+        item_edges_[it].push_back(e);
+      }
+    cnt_[0].assign(prob.edges.size(), 0);
+    cnt_[1].assign(prob.edges.size(), 0);
+    gain_.assign(n, 0);
+    for (const double w : prob.weight) total_ += w;
+    max_degree_ = 1;
+    for (const auto& ie : item_edges_)
+      max_degree_ = std::max(max_degree_, static_cast<int>(ie.size()));
+    buckets_.assign(static_cast<std::size_t>(2 * max_degree_ + 1), {});
+    bucket_pos_.assign(n, kNone);
+    locked_.assign(n, 1);  // everything locked until begin_pass
+  }
+
+  const std::vector<std::uint8_t>& side() const { return side_; }
+  double w0() const { return w0_; }
+  double total() const { return total_; }
+
+  void set_assignment(std::vector<std::uint8_t> assign) {
+    side_ = std::move(assign);
+    std::fill(cnt_[0].begin(), cnt_[0].end(), 0);
+    std::fill(cnt_[1].begin(), cnt_[1].end(), 0);
+    w0_ = 0;
+    for (std::size_t i = 0; i < side_.size(); ++i)
+      if (side_[i] == 0) w0_ += p_->weight[i];
+    for (std::uint32_t e = 0; e < p_->edges.size(); ++e) {
+      cnt_[0][e] = ext(0, e);
+      cnt_[1][e] = ext(1, e);
+      for (const auto it : p_->edges[e]) ++cnt_[side_[it]][e];
+    }
+  }
+
+  int cut() const {
+    int c = 0;
+    for (std::uint32_t e = 0; e < p_->edges.size(); ++e)
+      if (cnt_[0][e] > 0 && cnt_[1][e] > 0) ++c;
+    return c;
+  }
+
+  /// Unlock all items and (re)build the gain buckets.
+  void begin_pass() {
+    for (auto& b : buckets_) b.clear();
+    const std::size_t n = side_.size();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      locked_[i] = 0;
+      gain_[i] = compute_gain(i);
+      bucket_insert(i);
+    }
+    max_ptr_ = static_cast<int>(buckets_.size()) - 1;
+  }
+
+  /// Pick the highest-gain unlocked item whose move keeps balance.
+  /// Returns (item, gain) or nullopt.
+  struct Pick { std::uint32_t item; int gain; };
+  std::optional<Pick> select() {
+    for (int b = max_ptr_; b >= 0; --b) {
+      const auto& bucket = buckets_[static_cast<std::size_t>(b)];
+      for (const auto i : bucket) {
+        const double new_w0 =
+            w0_ + (side_[i] == 1 ? p_->weight[i] : -p_->weight[i]);
+        if (!balance_ok(new_w0)) continue;
+        max_ptr_ = b;
+        return Pick{i, b - max_degree_};
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Move item i to the other side; lock it; update neighbor gains.
+  void move_and_lock(std::uint32_t i) {
+    bucket_erase(i);
+    locked_[i] = 1;
+    apply_move(i);
+  }
+
+  /// Move without bucket maintenance (used for rollback after the pass).
+  void raw_move(std::uint32_t i) { apply_move(i); }
+
+  bool balance_ok(double new_w0) const {
+    return std::abs(new_w0 - total_ / 2) <= p_->balance_tolerance * total_;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffU;
+
+  std::uint32_t ext(int s, std::uint32_t e) const {
+    const auto& v = (s == 0) ? p_->ext0 : p_->ext1;
+    return e < v.size() ? v[e] : 0;
+  }
+
+  int compute_gain(std::uint32_t i) const {
+    const auto from = static_cast<std::size_t>(side_[i]);
+    const std::size_t to = 1 - from;
+    int g = 0;
+    for (const auto e : item_edges_[i]) {
+      if (cnt_[from][e] == 1) ++g;
+      if (cnt_[to][e] == 0) --g;
+    }
+    return g;
+  }
+
+  void bucket_insert(std::uint32_t i) {
+    auto& b = buckets_[static_cast<std::size_t>(gain_[i] + max_degree_)];
+    bucket_pos_[i] = static_cast<std::uint32_t>(b.size());
+    b.push_back(i);
+    max_ptr_ = std::max(max_ptr_, gain_[i] + max_degree_);
+  }
+
+  void bucket_erase(std::uint32_t i) {
+    if (bucket_pos_[i] == kNone) return;
+    auto& b = buckets_[static_cast<std::size_t>(gain_[i] + max_degree_)];
+    const std::uint32_t pos = bucket_pos_[i];
+    const std::uint32_t last = b.back();
+    b[pos] = last;
+    bucket_pos_[last] = pos;
+    b.pop_back();
+    bucket_pos_[i] = kNone;
+  }
+
+  void update_gain(std::uint32_t j) {
+    if (locked_[j]) return;
+    const int g = compute_gain(j);
+    if (g == gain_[j]) return;
+    bucket_erase(j);
+    gain_[j] = g;
+    bucket_insert(j);
+  }
+
+  void apply_move(std::uint32_t i) {
+    const auto from = static_cast<std::size_t>(side_[i]);
+    const std::size_t to = 1 - from;
+    for (const auto e : item_edges_[i]) {
+      --cnt_[from][e];
+      ++cnt_[to][e];
+    }
+    side_[i] = static_cast<std::uint8_t>(to);
+    w0_ += (to == 0) ? p_->weight[i] : -p_->weight[i];
+    for (const auto e : item_edges_[i])
+      for (const auto j : p_->edges[e])
+        if (j != i) update_gain(j);
+  }
+
+  const FmProblem* p_;
+  std::vector<std::vector<std::uint32_t>> item_edges_;
+  std::vector<std::uint32_t> cnt_[2];
+  std::vector<std::uint8_t> side_;
+  std::vector<int> gain_;
+  std::vector<std::uint8_t> locked_;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::vector<std::uint32_t> bucket_pos_;
+  int max_ptr_ = 0;
+  int max_degree_ = 1;
+  double w0_ = 0, total_ = 0;
+};
+
+}  // namespace
+
+int fm_cut_size(const FmProblem& problem, const std::vector<std::uint8_t>& side) {
+  State st(problem);
+  st.set_assignment(side);
+  return st.cut();
+}
+
+FmResult fm_bipartition(const FmProblem& problem) {
+  const std::size_t n = problem.weight.size();
+  FmResult result;
+  if (n == 0) return result;
+
+  util::Rng rng(problem.seed);
+  State st(problem);
+
+  // Random area-balanced start.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::uint8_t> init(n, 1);
+  double acc = 0, total = 0;
+  for (const double w : problem.weight) total += w;
+  for (const auto i : order) {
+    if (acc < total / 2) {
+      init[i] = 0;
+      acc += problem.weight[i];
+    }
+  }
+  st.set_assignment(std::move(init));
+
+  std::vector<std::uint8_t> best_side = st.side();
+  int best_cut = st.cut();
+
+  std::vector<std::uint32_t> moved;
+  moved.reserve(n);
+
+  for (int pass = 0; pass < problem.max_passes; ++pass) {
+    st.begin_pass();
+    moved.clear();
+    const int pass_start_cut = st.cut();
+    int cur_cut = pass_start_cut;
+    int best_prefix_cut = cur_cut;
+    std::size_t best_prefix = 0;
+
+    for (std::size_t step = 0; step < n; ++step) {
+      const auto pick = st.select();
+      if (!pick) break;
+      st.move_and_lock(pick->item);
+      moved.push_back(pick->item);
+      cur_cut -= pick->gain;
+      if (cur_cut < best_prefix_cut) {
+        best_prefix_cut = cur_cut;
+        best_prefix = moved.size();
+      }
+    }
+
+    // Roll back moves past the best prefix.
+    for (std::size_t k = moved.size(); k > best_prefix; --k)
+      st.raw_move(moved[k - 1]);
+
+    if (best_prefix_cut < best_cut) {
+      best_cut = best_prefix_cut;
+      best_side = st.side();
+    }
+    if (best_prefix_cut >= pass_start_cut) break;  // no improvement
+  }
+
+  result.side = std::move(best_side);
+  result.cut = best_cut;
+  return result;
+}
+
+}  // namespace sm::place

@@ -1,0 +1,38 @@
+// Fiduccia–Mattheyses bipartitioning.
+//
+// Used by the recursive-bisection global placer. Items are cells of one
+// placement region; hyperedges are the nets touching them. Terminal
+// propagation is expressed with per-edge external pin counts (pins of the
+// net already fixed left/right of the cut line).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sm::place {
+
+struct FmProblem {
+  /// Item weights (cell areas); size = number of items.
+  std::vector<double> weight;
+  /// Hyperedges: lists of item indices (indices < weight.size()).
+  std::vector<std::vector<std::uint32_t>> edges;
+  /// Per-edge count of external pins fixed on side 0 / side 1.
+  std::vector<std::uint32_t> ext0, ext1;  ///< may be empty (= all zero)
+  /// Allowed deviation of side-0 weight from half the total (fraction).
+  double balance_tolerance = 0.1;
+  std::uint64_t seed = 1;
+  int max_passes = 8;
+};
+
+struct FmResult {
+  std::vector<std::uint8_t> side;  ///< 0 or 1 per item
+  int cut = 0;                     ///< number of cut hyperedges (externals count)
+};
+
+/// Run FM from a random balanced start. Deterministic in problem+seed.
+FmResult fm_bipartition(const FmProblem& problem);
+
+/// Count cut edges for a given assignment (exposed for tests).
+int fm_cut_size(const FmProblem& problem, const std::vector<std::uint8_t>& side);
+
+}  // namespace sm::place

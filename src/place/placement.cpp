@@ -1,0 +1,37 @@
+#include "place/placement.hpp"
+
+namespace sm::place {
+
+using netlist::NetId;
+using netlist::Netlist;
+using util::Point;
+using util::Rect;
+
+Rect net_bbox(const Netlist& nl, const Placement& pl, NetId net) {
+  const auto& n = nl.net(net);
+  Rect box = Rect::around(pl.of(n.driver));
+  for (const auto& s : n.sinks) box.expand(pl.of(s.cell));
+  return box;
+}
+
+double net_hpwl(const Netlist& nl, const Placement& pl, NetId net) {
+  return net_bbox(nl, pl, net).half_perimeter();
+}
+
+double total_hpwl(const Netlist& nl, const Placement& pl) {
+  double sum = 0.0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) sum += net_hpwl(nl, pl, n);
+  return sum;
+}
+
+std::vector<double> driver_sink_distances(const Netlist& nl,
+                                          const Placement& pl, NetId net) {
+  const auto& n = nl.net(net);
+  std::vector<double> d;
+  d.reserve(n.sinks.size());
+  const Point& drv = pl.of(n.driver);
+  for (const auto& s : n.sinks) d.push_back(util::manhattan(drv, pl.of(s.cell)));
+  return d;
+}
+
+}  // namespace sm::place

@@ -1,0 +1,50 @@
+// Placement data model: die floorplan, per-cell locations, HPWL metrics.
+//
+// Positions are cell centers in microns. Port marker cells are fixed on the
+// die boundary; standard cells and DFFs occupy legalized row sites.
+// Correction/naive-lift cells are *not* placed here — they are BEOL-only
+// objects managed by sm::core (they have no device-layer footprint).
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "util/geometry.hpp"
+
+#include <vector>
+
+namespace sm::place {
+
+struct Floorplan {
+  util::Rect die;
+  double row_height_um = 1.4;
+  int num_rows = 0;
+
+  double row_y(int row) const {  ///< center y of a row
+    return die.lo.y + (static_cast<double>(row) + 0.5) * row_height_um;
+  }
+};
+
+struct Placement {
+  Floorplan floorplan;
+  /// Cell center per CellId (ports included).
+  std::vector<util::Point> pos;
+
+  const util::Point& of(netlist::CellId id) const { return pos.at(id); }
+};
+
+/// Bounding box of a net's pins (driver + sinks) under `pl`.
+util::Rect net_bbox(const netlist::Netlist& nl, const Placement& pl,
+                    netlist::NetId net);
+
+/// Half-perimeter wirelength of one net.
+double net_hpwl(const netlist::Netlist& nl, const Placement& pl,
+                netlist::NetId net);
+
+/// Total HPWL over all nets.
+double total_hpwl(const netlist::Netlist& nl, const Placement& pl);
+
+/// Driver-to-sink Manhattan distance for every (driver, sink) pair of `net`.
+std::vector<double> driver_sink_distances(const netlist::Netlist& nl,
+                                          const Placement& pl,
+                                          netlist::NetId net);
+
+}  // namespace sm::place

@@ -1,0 +1,39 @@
+#include "route/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sm::route {
+
+RouteGrid::RouteGrid(const util::Rect& die, double gcell_um, int num_layers)
+    : die_(die), gcell_um_(gcell_um), layers_(num_layers) {
+  if (gcell_um <= 0) throw std::invalid_argument("RouteGrid: gcell_um <= 0");
+  if (num_layers < 2) throw std::invalid_argument("RouteGrid: need >= 2 layers");
+  nx_ = std::max(1, static_cast<int>(std::ceil(die.width() / gcell_um)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(die.height() / gcell_um)));
+}
+
+util::GridPoint RouteGrid::snap(const util::Point& p, int layer) const {
+  util::GridPoint g;
+  g.x = std::clamp(static_cast<int>((p.x - die_.lo.x) / gcell_um_), 0, nx_ - 1);
+  g.y = std::clamp(static_cast<int>((p.y - die_.lo.y) / gcell_um_), 0, ny_ - 1);
+  g.layer = std::clamp(layer, 1, layers_);
+  return g;
+}
+
+util::Point RouteGrid::to_um(const util::GridPoint& g) const {
+  return {die_.lo.x + (static_cast<double>(g.x) + 0.5) * gcell_um_,
+          die_.lo.y + (static_cast<double>(g.y) + 0.5) * gcell_um_};
+}
+
+int RouteGrid::capacity(const netlist::MetalStack& stack, int layer) const {
+  // Tracks per gcell, derated: M1 loses most tracks to pin access and
+  // intra-cell wiring, the top layers to power distribution. Rounding is
+  // to-nearest so fine grids do not collapse capacity to 1 track.
+  const double pitch = stack.layer(layer).pitch_um;
+  const double derate = (layer == 1) ? 0.40 : (layer >= 9 ? 0.6 : 0.80);
+  return std::max(1, static_cast<int>(gcell_um_ / pitch * derate + 0.5));
+}
+
+}  // namespace sm::route

@@ -1,0 +1,67 @@
+// Routing grid: the die tessellated into gcells, replicated across the ten
+// metal layers. Wires run along a layer's preferred direction; vias connect
+// vertically adjacent layers at a gcell.
+#pragma once
+
+#include "netlist/tech.hpp"
+#include "util/geometry.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace sm::route {
+
+class RouteGrid {
+ public:
+  RouteGrid() = default;
+  /// Tessellate `die` into gcells of roughly `gcell_um` pitch.
+  RouteGrid(const util::Rect& die, double gcell_um, int num_layers);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int layers() const { return layers_; }
+  double gcell_um() const { return gcell_um_; }
+  const util::Rect& die() const { return die_; }
+
+  std::size_t num_nodes() const {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_) *
+           static_cast<std::size_t>(layers_);
+  }
+
+  /// Dense node index for (x, y, layer). Layer is 1-based.
+  std::size_t index(const util::GridPoint& g) const {
+    return (static_cast<std::size_t>(g.layer - 1) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(g.y)) *
+               static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(g.x);
+  }
+  util::GridPoint at(std::size_t idx) const {
+    const auto nxy = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+    util::GridPoint g;
+    g.layer = static_cast<std::int32_t>(idx / nxy) + 1;
+    const std::size_t rem = idx % nxy;
+    g.y = static_cast<std::int32_t>(rem / static_cast<std::size_t>(nx_));
+    g.x = static_cast<std::int32_t>(rem % static_cast<std::size_t>(nx_));
+    return g;
+  }
+
+  /// Snap a physical point to the containing gcell on `layer`.
+  util::GridPoint snap(const util::Point& p, int layer = 1) const;
+  /// Center of a gcell in microns.
+  util::Point to_um(const util::GridPoint& g) const;
+
+  bool in_bounds(const util::GridPoint& g) const {
+    return g.x >= 0 && g.x < nx_ && g.y >= 0 && g.y < ny_ && g.layer >= 1 &&
+           g.layer <= layers_;
+  }
+
+  /// Routing-track capacity of one gcell on `layer` (tracks crossing it).
+  int capacity(const netlist::MetalStack& stack, int layer) const;
+
+ private:
+  util::Rect die_;
+  double gcell_um_ = 2.8;
+  int nx_ = 1, ny_ = 1, layers_ = 10;
+};
+
+}  // namespace sm::route

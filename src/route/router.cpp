@@ -1,0 +1,441 @@
+#include "route/router.hpp"
+
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace sm::route {
+
+using netlist::MetalStack;
+using util::GridPoint;
+using util::Point;
+
+double RoutingStats::total_wire_um() const {
+  double s = 0;
+  for (const double w : wire_um) s += w;
+  return s;
+}
+
+std::uint64_t RoutingStats::total_vias() const {
+  std::uint64_t s = 0;
+  for (const auto v : vias) s += v;
+  return s;
+}
+
+std::vector<RouteTask> make_tasks(const netlist::Netlist& nl,
+                                  const place::Placement& pl,
+                                  const std::vector<int>& min_layer_of) {
+  std::vector<RouteTask> tasks;
+  tasks.reserve(nl.num_nets());
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.sinks.empty()) continue;  // nothing to connect
+    RouteTask t;
+    t.net = n;
+    t.min_layer = (n < min_layer_of.size()) ? min_layer_of[n] : 1;
+    t.terminals.push_back({pl.of(net.driver), nl.type_of(net.driver).pin_layer});
+    for (const auto& s : net.sinks)
+      t.terminals.push_back({pl.of(s.cell), nl.type_of(s.cell).pin_layer});
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+RoutingStats collect_stats(const RouteGrid& grid,
+                           const std::vector<NetRoute>& routes) {
+  RoutingStats st;
+  for (const auto& r : routes) {
+    if (!r.success) {
+      ++st.failed_nets;
+      continue;
+    }
+    for (const auto& seg : r.segments) {
+      if (seg.is_via()) {
+        const int lo = std::min(seg.a.layer, seg.b.layer);
+        const int hi = std::max(seg.a.layer, seg.b.layer);
+        for (int l = lo; l < hi; ++l) ++st.vias[static_cast<std::size_t>(l)];
+      } else {
+        st.wire_um[static_cast<std::size_t>(seg.a.layer)] +=
+            seg.gcell_length() * grid.gcell_um();
+      }
+    }
+  }
+  return st;
+}
+
+namespace {
+
+/// Shared search state with epoch-stamped per-search arrays so repeated A*
+/// runs cost O(visited), not O(grid).
+class Maze {
+ public:
+  Maze(const RouteGrid& grid, const MetalStack& stack,
+       const RouterOptions& opts)
+      : grid_(&grid), stack_(&stack), opts_(&opts) {
+    const std::size_t n = grid.num_nodes();
+    usage_.assign(n, 0);
+    history_.assign(n, 0.0f);
+    gscore_.assign(n, 0.0f);
+    parent_.assign(n, 0);
+    epoch_mark_.assign(n, 0);
+    closed_mark_.assign(n, 0);
+    target_mark_map_.assign(n, 0);
+    cap_.resize(static_cast<std::size_t>(grid.layers()) + 1);
+    for (int l = 1; l <= grid.layers(); ++l)
+      cap_[static_cast<std::size_t>(l)] = grid.capacity(stack, l);
+
+    blocked_.assign(n, 0);
+    for (const auto& b : opts.blockages) {
+      const GridPoint lo = grid.snap(b.region.lo, 1);
+      const GridPoint hi = grid.snap(b.region.hi, 1);
+      for (int l = std::max(1, b.min_layer);
+           l <= std::min(grid.layers(), b.max_layer); ++l)
+        for (int y = lo.y; y <= hi.y; ++y)
+          for (int x = lo.x; x <= hi.x; ++x)
+            blocked_[grid.index({x, y, l})] = 1;
+    }
+  }
+
+  const RouteGrid& grid() const { return *grid_; }
+
+  int capacity(int layer) const { return cap_[static_cast<std::size_t>(layer)]; }
+  int usage_at(std::size_t idx) const { return usage_[idx]; }
+
+  void add_usage(std::size_t idx, int delta) {
+    usage_[idx] = static_cast<std::int32_t>(usage_[idx] + delta);
+  }
+
+  /// PathFinder cost of stepping onto node `idx`. The present-overuse
+  /// penalty grows with each negotiation round (set_pressure), the classic
+  /// PathFinder schedule that forces convergence.
+  double node_cost(std::size_t idx, int layer) const {
+    const int over = usage_[idx] + 1 - cap_[static_cast<std::size_t>(layer)];
+    double c = 1.0 + static_cast<double>(history_[idx]);
+    if (over > 0) c += opts_->overflow_penalty * pressure_ * over;
+    return c;
+  }
+
+  void set_pressure(double p) { pressure_ = p; }
+
+  void bump_history() {
+    for (std::size_t i = 0; i < usage_.size(); ++i) {
+      const GridPoint g = grid_->at(i);
+      const int over = usage_[i] - cap_[static_cast<std::size_t>(g.layer)];
+      if (over > 0)
+        history_[i] += static_cast<float>(opts_->history_increment * over);
+    }
+  }
+
+  std::size_t count_overflow() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < usage_.size(); ++i) {
+      const GridPoint g = grid_->at(i);
+      if (usage_[i] > cap_[static_cast<std::size_t>(g.layer)]) ++n;
+    }
+    return n;
+  }
+
+  /// A* from `start` to any node in `targets` (marked via target_mark_).
+  /// Layers below `min_layer` are off-limits. Returns the reached target
+  /// node or npos; parents_ encodes the path.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t search(std::size_t start, const std::vector<std::size_t>& targets,
+                     int min_layer) {
+    ++epoch_;
+    // Mark targets and compute their bbox for the heuristic.
+    target_epoch_ = epoch_;
+    tminx_ = tminy_ = std::numeric_limits<int>::max();
+    tmaxx_ = tmaxy_ = std::numeric_limits<int>::min();
+    for (const auto t : targets) {
+      closed_mark_[t] = 0;  // ensure not stale-closed
+      target_set_.push_back(t);
+      const GridPoint g = grid_->at(t);
+      tminx_ = std::min(tminx_, g.x);
+      tmaxx_ = std::max(tmaxx_, g.x);
+      tminy_ = std::min(tminy_, g.y);
+      tmaxy_ = std::max(tmaxy_, g.y);
+      target_mark(t) = epoch_;
+    }
+
+    using QItem = std::pair<double, std::size_t>;  // (f, node)
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
+    gscore_[start] = 0.0f;
+    epoch_mark_[start] = epoch_;
+    parent_[start] = static_cast<std::uint32_t>(start);
+    open.emplace(heuristic(start), start);
+
+    std::size_t found = npos;
+    while (!open.empty()) {
+      const auto [f, node] = open.top();
+      open.pop();
+      if (closed_mark_[node] == epoch_) continue;
+      closed_mark_[node] = epoch_;
+      if (target_mark(node) == epoch_) {
+        found = node;
+        break;
+      }
+      const GridPoint g = grid_->at(node);
+      auto try_step = [&](const GridPoint& ng, double step_cost) {
+        if (!grid_->in_bounds(ng) || ng.layer < min_layer) return;
+        const std::size_t ni = grid_->index(ng);
+        // Blockages forbid lateral wiring; vias (layer changes) pass.
+        if (ng.layer == g.layer && blocked_[ni]) return;
+        if (closed_mark_[ni] == epoch_) return;
+        const double ng_cost = static_cast<double>(gscore_[node]) + step_cost +
+                               node_cost(ni, ng.layer);
+        if (epoch_mark_[ni] == epoch_ &&
+            static_cast<double>(gscore_[ni]) <= ng_cost)
+          return;
+        epoch_mark_[ni] = epoch_;
+        gscore_[ni] = static_cast<float>(ng_cost);
+        parent_[ni] = static_cast<std::uint32_t>(node);
+        open.emplace(ng_cost + heuristic(ni), ni);
+      };
+      const auto dir = stack_->layer(g.layer).preferred;
+      if (dir == netlist::Direction::Horizontal) {
+        try_step({g.x - 1, g.y, g.layer}, 0.0);
+        try_step({g.x + 1, g.y, g.layer}, 0.0);
+      } else {
+        try_step({g.x, g.y - 1, g.layer}, 0.0);
+        try_step({g.x, g.y + 1, g.layer}, 0.0);
+      }
+      try_step({g.x, g.y, g.layer - 1}, opts_->via_cost);
+      try_step({g.x, g.y, g.layer + 1}, opts_->via_cost);
+    }
+
+    // Clear target marks for next search.
+    for (const auto t : target_set_) target_mark(t) = 0;
+    target_set_.clear();
+    return found;
+  }
+
+  /// Walk parents from `node` back to the search start.
+  std::vector<std::size_t> backtrack(std::size_t node) const {
+    std::vector<std::size_t> path{node};
+    while (parent_[node] != node) {
+      node = parent_[node];
+      path.push_back(node);
+    }
+    return path;
+  }
+
+ private:
+  double heuristic(std::size_t idx) const {
+    const GridPoint g = grid_->at(idx);
+    double h = 0;
+    if (g.x < tminx_) h += tminx_ - g.x;
+    if (g.x > tmaxx_) h += g.x - tmaxx_;
+    if (g.y < tminy_) h += tminy_ - g.y;
+    if (g.y > tmaxy_) h += g.y - tmaxy_;
+    return h;  // >= remaining steps, each of cost >= 1
+  }
+
+  std::uint32_t& target_mark(std::size_t idx) { return target_mark_map_[idx]; }
+
+  const RouteGrid* grid_;
+  const MetalStack* stack_;
+  const RouterOptions* opts_;
+  std::vector<std::int32_t> usage_;
+  std::vector<float> history_;
+  std::vector<float> gscore_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> epoch_mark_;
+  std::vector<std::uint32_t> closed_mark_;
+  std::vector<std::uint32_t> target_mark_map_;
+  std::vector<std::uint8_t> blocked_;
+  std::vector<std::size_t> target_set_;
+  std::vector<int> cap_;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t target_epoch_ = 0;
+  double pressure_ = 1.0;
+  int tminx_ = 0, tmaxx_ = 0, tminy_ = 0, tmaxy_ = 0;
+};
+
+/// Compress a node path into straight wire segments and single via segments.
+void emit_segments(const RouteGrid& grid, const std::vector<std::size_t>& path,
+                   std::vector<RouteSegment>& out) {
+  if (path.size() < 2) return;
+  GridPoint run_start = grid.at(path.back());
+  GridPoint prev = run_start;
+  // Walk from search start to end (path is backtracked, so reverse).
+  for (std::size_t k = path.size() - 1; k-- > 0;) {
+    const GridPoint cur = grid.at(path[k]);
+    if (cur.layer != prev.layer) {  // via step
+      if (!(run_start == prev)) out.push_back({run_start, prev});
+      out.push_back({prev, cur});
+      run_start = cur;
+    } else if ((run_start.x != prev.x && cur.y != prev.y) ||
+               (run_start.y != prev.y && cur.x != prev.x)) {
+      // Direction change: close the finished run; the new run starts at
+      // prev so the prev->cur step is not lost.
+      out.push_back({run_start, prev});
+      run_start = prev;
+    }
+    prev = cur;
+  }
+  if (!(run_start == prev)) out.push_back({run_start, prev});
+}
+
+/// Nodes a (terminal) via stack occupies from the pin layer up to `to_layer`.
+void stack_nodes(const RouteGrid& grid, const Terminal& t, int to_layer,
+                 std::vector<std::size_t>& out) {
+  const GridPoint base = grid.snap(t.pos, t.layer);
+  const int lo = std::min(base.layer, to_layer);
+  const int hi = std::max(base.layer, to_layer);
+  for (int l = lo; l <= hi; ++l)
+    out.push_back(grid.index({base.x, base.y, l}));
+}
+
+struct TaskState {
+  std::vector<std::size_t> nodes;  ///< all grid nodes the net occupies
+  NetRoute route;
+};
+
+}  // namespace
+
+RoutingResult Router::route(const std::vector<RouteTask>& tasks,
+                            const util::Rect& die,
+                            const MetalStack& stack) const {
+  RoutingResult result;
+  result.grid = RouteGrid(die, opts_.gcell_um, stack.num_layers());
+  const RouteGrid& grid = result.grid;
+  Maze maze(grid, stack, opts_);
+
+  std::vector<TaskState> state(tasks.size());
+
+  // Route order: short nets first (they have the least flexibility).
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto task_span = [&](const RouteTask& t) {
+    util::Rect box = util::Rect::around(t.terminals.empty() ? Point{}
+                                                            : t.terminals[0].pos);
+    for (const auto& term : t.terminals) box.expand(term.pos);
+    return box.half_perimeter();
+  };
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return task_span(tasks[a]) < task_span(tasks[b]);
+  });
+
+  auto route_one = [&](std::size_t ti) {
+    const RouteTask& task = tasks[ti];
+    TaskState& st = state[ti];
+    st.route = NetRoute{};
+    st.route.net = task.net;
+    st.route.min_layer = task.min_layer;
+    st.nodes.clear();
+    if (task.terminals.empty()) return;
+    const int ml = std::max(1, task.min_layer);
+
+    // Seed the net tree with the driver terminal's via stack.
+    std::vector<std::size_t> tree;
+    stack_nodes(grid, task.terminals[0], ml, tree);
+    if (ml > task.terminals[0].layer) {
+      const GridPoint b = grid.snap(task.terminals[0].pos, task.terminals[0].layer);
+      st.route.segments.push_back({b, {b.x, b.y, ml}});
+    }
+    bool ok = true;
+
+    // Connect remaining terminals nearest-first (Prim-like order).
+    std::vector<std::size_t> remaining;
+    for (std::size_t k = 1; k < task.terminals.size(); ++k) remaining.push_back(k);
+    std::stable_sort(remaining.begin(), remaining.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return util::manhattan(task.terminals[a].pos,
+                                              task.terminals[0].pos) <
+                              util::manhattan(task.terminals[b].pos,
+                                              task.terminals[0].pos);
+                     });
+
+    for (const std::size_t k : remaining) {
+      const Terminal& term = task.terminals[k];
+      const GridPoint entry_pin = grid.snap(term.pos, term.layer);
+      const GridPoint entry{entry_pin.x, entry_pin.y, std::max(entry_pin.layer, ml)};
+      const std::size_t entry_idx = grid.index(entry);
+
+      // Degenerate: terminal already on the tree.
+      const bool on_tree =
+          std::find(tree.begin(), tree.end(), entry_idx) != tree.end();
+      std::size_t hit = entry_idx;
+      if (!on_tree) {
+        hit = maze.search(entry_idx, tree, ml);
+        if (hit == Maze::npos) {
+          ok = false;
+          continue;
+        }
+        const auto path = maze.backtrack(hit);
+        emit_segments(grid, path, st.route.segments);
+        // path runs hit -> ... -> entry (backtrack order); add all to tree.
+        for (const auto nidx : path)
+          if (std::find(tree.begin(), tree.end(), nidx) == tree.end())
+            tree.push_back(nidx);
+      }
+      // Terminal via stack (pin layer up to the entry layer).
+      if (entry.layer > entry_pin.layer) {
+        st.route.segments.push_back({entry_pin, entry});
+        for (int l = entry_pin.layer; l <= entry.layer; ++l) {
+          const std::size_t nidx = grid.index({entry.x, entry.y, l});
+          if (std::find(tree.begin(), tree.end(), nidx) == tree.end())
+            tree.push_back(nidx);
+        }
+      }
+    }
+
+    st.route.success = ok;
+    // Pin-layer nodes at the terminals do not consume routing capacity:
+    // pin access is already accounted in the per-layer capacity derate, and
+    // several pins legitimately share one gcell. Everything else does.
+    std::vector<std::size_t> pin_nodes;
+    for (const auto& term : task.terminals)
+      pin_nodes.push_back(grid.index(grid.snap(term.pos, term.layer)));
+    std::sort(pin_nodes.begin(), pin_nodes.end());
+    st.nodes.clear();
+    for (const auto nidx : tree)
+      if (!std::binary_search(pin_nodes.begin(), pin_nodes.end(), nidx))
+        st.nodes.push_back(nidx);
+    for (const auto nidx : st.nodes) maze.add_usage(nidx, 1);
+  };
+
+  // Initial pass.
+  for (const auto ti : order) route_one(ti);
+
+  // Negotiated congestion: rip up nets crossing overflowed nodes, bump
+  // history, re-route.
+  for (int pass = 1; pass < opts_.passes; ++pass) {
+    if (maze.count_overflow() == 0) break;
+    maze.bump_history();
+    maze.set_pressure(1.0 + static_cast<double>(pass));
+    std::vector<std::size_t> ripped;
+    for (const auto ti : order) {
+      TaskState& st = state[ti];
+      bool over = !st.route.success;
+      for (const auto nidx : st.nodes) {
+        const GridPoint g = grid.at(nidx);
+        if (maze.usage_at(nidx) > maze.capacity(g.layer)) {
+          over = true;
+          break;
+        }
+      }
+      if (over) {
+        for (const auto nidx : st.nodes) maze.add_usage(nidx, -1);
+        st.nodes.clear();
+        st.route.segments.clear();
+        ripped.push_back(ti);
+      }
+    }
+    for (const auto ti : ripped) route_one(ti);
+  }
+
+  result.routes.resize(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    result.routes[i] = std::move(state[i].route);
+  result.stats = collect_stats(grid, result.routes);
+  result.stats.overflowed_gcells = maze.count_overflow();
+  return result;
+}
+
+}  // namespace sm::route

@@ -1,0 +1,322 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sm::sat {
+
+int Solver::new_var() {
+  const int v = num_vars();
+  assign_.push_back(-1);
+  phase_.push_back(0);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return false;
+  // Normalize: drop duplicate literals; detect tautologies.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i)
+    if (lits[i].code == (lits[i + 1].code ^ 1)) return true;  // tautology
+  // Remove literals already false at level 0; satisfied clause is dropped.
+  std::vector<Lit> keep;
+  for (const Lit l : lits) {
+    if (lit_true(l) && level_[static_cast<std::size_t>(l.var())] == 0)
+      return true;
+    if (lit_false(l) && level_[static_cast<std::size_t>(l.var())] == 0)
+      continue;
+    keep.push_back(l);
+  }
+  if (keep.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (keep.size() == 1) {
+    if (lit_false(keep[0])) {
+      unsat_ = true;
+      return false;
+    }
+    if (lit_unassigned(keep[0])) {
+      enqueue(keep[0], -1);
+      if (propagate() >= 0) {
+        unsat_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+  clauses_.push_back({std::move(keep), false, 0.0});
+  attach_clause(static_cast<std::int32_t>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach_clause(std::int32_t ci) {
+  const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+  watches_[c.lits[0].negated().code].push_back(ci);
+  watches_[c.lits[1].negated().code].push_back(ci);
+}
+
+void Solver::enqueue(Lit l, std::int32_t reason) {
+  assign_[static_cast<std::size_t>(l.var())] = l.positive() ? 1 : 0;
+  level_[static_cast<std::size_t>(l.var())] = current_level();
+  reason_[static_cast<std::size_t>(l.var())] = reason;
+  trail_.push_back(l);
+}
+
+std::int32_t Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];  // p became true
+    auto& watch_list = watches_[p.code];
+    std::size_t keep = 0;
+    for (std::size_t wi = 0; wi < watch_list.size(); ++wi) {
+      const std::int32_t ci = watch_list[wi];
+      Clause& c = clauses_[static_cast<std::size_t>(ci)];
+      // Ensure the false literal (~p) sits at position 1.
+      const Lit not_p = p.negated();
+      if (c.lits[0] == not_p) std::swap(c.lits[0], c.lits[1]);
+      if (lit_true(c.lits[0])) {
+        watch_list[keep++] = ci;  // clause satisfied; keep watching
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (!lit_false(c.lits[k])) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[c.lits[1].negated().code].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      watch_list[keep++] = ci;
+      if (lit_false(c.lits[0])) {
+        // Conflict: keep remaining watches, report.
+        for (std::size_t rest = wi + 1; rest < watch_list.size(); ++rest)
+          watch_list[keep++] = watch_list[rest];
+        watch_list.resize(keep);
+        return ci;
+      }
+      enqueue(c.lits[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump_var(int var) {
+  activity_[static_cast<std::size_t>(var)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(var)] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::decay_activities() { var_inc_ /= 0.95; }
+
+void Solver::analyze(std::int32_t confl, std::vector<Lit>& learnt,
+                     int& back_level) {
+  learnt.clear();
+  learnt.push_back(Lit{0});  // placeholder for the asserting literal
+  std::vector<bool> seen(static_cast<std::size_t>(num_vars()), false);
+  int counter = 0;
+  Lit p{0};
+  bool have_p = false;
+  std::size_t trail_index = trail_.size();
+
+  for (;;) {
+    const Clause& c = clauses_[static_cast<std::size_t>(confl)];
+    for (std::size_t i = have_p ? 1 : 0; i < c.lits.size(); ++i) {
+      const Lit q = c.lits[i];
+      const auto v = static_cast<std::size_t>(q.var());
+      if (seen[v] || level_[v] == 0) continue;
+      seen[v] = true;
+      bump_var(q.var());
+      if (level_[v] == current_level()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Find the next literal on the trail at the current level.
+    do {
+      --trail_index;
+      p = trail_[trail_index];
+    } while (!seen[static_cast<std::size_t>(p.var())]);
+    seen[static_cast<std::size_t>(p.var())] = false;
+    --counter;
+    if (counter == 0) break;
+    confl = reason_[static_cast<std::size_t>(p.var())];
+    have_p = true;
+    // Reorder so lits[0] is p (the literal we resolve on).
+    Clause& rc = clauses_[static_cast<std::size_t>(confl)];
+    if (!(rc.lits[0] == p))
+      for (std::size_t i = 1; i < rc.lits.size(); ++i)
+        if (rc.lits[i] == p) {
+          std::swap(rc.lits[0], rc.lits[i]);
+          break;
+        }
+  }
+  learnt[0] = p.negated();
+
+  // Backtrack level: max level among the other learnt literals.
+  back_level = 0;
+  std::size_t max_i = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const int lv = level_[static_cast<std::size_t>(learnt[i].var())];
+    if (lv > back_level) {
+      back_level = lv;
+      max_i = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_i]);
+}
+
+void Solver::backtrack(int target) {
+  while (current_level() > target) {
+    const std::size_t lim = trail_lim_.back();
+    trail_lim_.pop_back();
+    while (trail_.size() > lim) {
+      const Lit l = trail_.back();
+      trail_.pop_back();
+      const auto v = static_cast<std::size_t>(l.var());
+      phase_[v] = assign_[v];
+      assign_[v] = -1;
+      reason_[v] = -1;
+    }
+  }
+  propagate_head_ = trail_.size();
+}
+
+int Solver::pick_branch_var() {
+  int best = -1;
+  double best_act = -1.0;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (assign_[static_cast<std::size_t>(v)] >= 0) continue;
+    if (activity_[static_cast<std::size_t>(v)] > best_act) {
+      best_act = activity_[static_cast<std::size_t>(v)];
+      best = v;
+    }
+  }
+  return best;
+}
+
+void Solver::reduce_learnts() {
+  // Drop the lower-activity half of the learnt clauses (keep binaries and
+  // reasons). Detach-and-rebuild keeps the watch lists consistent.
+  std::vector<std::int32_t> learnt_ids;
+  for (std::int32_t ci = 0; ci < static_cast<std::int32_t>(clauses_.size()); ++ci)
+    if (clauses_[static_cast<std::size_t>(ci)].learnt &&
+        clauses_[static_cast<std::size_t>(ci)].lits.size() > 2)
+      learnt_ids.push_back(ci);
+  if (learnt_ids.size() < 2000) return;
+  std::sort(learnt_ids.begin(), learnt_ids.end(), [&](int a, int b) {
+    return clauses_[static_cast<std::size_t>(a)].activity <
+           clauses_[static_cast<std::size_t>(b)].activity;
+  });
+  std::vector<bool> in_use(clauses_.size(), false);
+  for (int v = 0; v < num_vars(); ++v)
+    if (reason_[static_cast<std::size_t>(v)] >= 0)
+      in_use[static_cast<std::size_t>(reason_[static_cast<std::size_t>(v)])] = true;
+  std::vector<bool> drop(clauses_.size(), false);
+  for (std::size_t i = 0; i < learnt_ids.size() / 2; ++i)
+    if (!in_use[static_cast<std::size_t>(learnt_ids[i])])
+      drop[static_cast<std::size_t>(learnt_ids[i])] = true;
+  // Rebuild clause storage and watches.
+  std::vector<Clause> kept;
+  std::vector<std::int32_t> remap(clauses_.size(), -1);
+  for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (drop[ci]) continue;
+    remap[ci] = static_cast<std::int32_t>(kept.size());
+    kept.push_back(std::move(clauses_[ci]));
+  }
+  clauses_ = std::move(kept);
+  for (auto& w : watches_) w.clear();
+  for (std::int32_t ci = 0; ci < static_cast<std::int32_t>(clauses_.size()); ++ci)
+    attach_clause(ci);
+  for (int v = 0; v < num_vars(); ++v) {
+    auto& r = reason_[static_cast<std::size_t>(v)];
+    if (r >= 0) r = remap[static_cast<std::size_t>(r)];
+  }
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     std::int64_t max_conflicts) {
+  if (unsat_) return Result::Unsat;
+  stats_conflicts_ = 0;
+  backtrack(0);
+  if (propagate() >= 0) {
+    unsat_ = true;
+    return Result::Unsat;
+  }
+
+  std::int64_t restart_limit = 128;
+  std::int64_t conflicts_since_restart = 0;
+
+  for (;;) {
+    const std::int32_t confl = propagate();
+    if (confl >= 0) {
+      ++stats_conflicts_;
+      ++conflicts_since_restart;
+      if (current_level() == 0) {
+        unsat_ = true;
+        return Result::Unsat;
+      }
+      std::vector<Lit> learnt;
+      int back_level = 0;
+      analyze(confl, learnt, back_level);
+      backtrack(back_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], -1);
+      } else {
+        clauses_.push_back({learnt, true, var_inc_});
+        const auto ci = static_cast<std::int32_t>(clauses_.size() - 1);
+        attach_clause(ci);
+        enqueue(learnt[0], ci);
+      }
+      decay_activities();
+      if (max_conflicts > 0 && stats_conflicts_ >= max_conflicts) {
+        backtrack(0);
+        return Result::Unknown;
+      }
+      if (conflicts_since_restart >= restart_limit) {
+        conflicts_since_restart = 0;
+        restart_limit = restart_limit + restart_limit / 2;
+        backtrack(0);
+        reduce_learnts();
+      }
+      continue;
+    }
+
+    // Apply assumptions, then decide.
+    bool assumption_pending = false;
+    for (const Lit a : assumptions) {
+      if (lit_false(a)) {
+        backtrack(0);
+        return Result::Unsat;  // conflicts with assumptions
+      }
+      if (lit_unassigned(a)) {
+        trail_lim_.push_back(trail_.size());
+        enqueue(a, -1);
+        assumption_pending = true;
+        break;
+      }
+    }
+    if (assumption_pending) continue;
+
+    const int v = pick_branch_var();
+    if (v < 0) return Result::Sat;  // full assignment
+    trail_lim_.push_back(trail_.size());
+    enqueue(Lit::make(v, phase_[static_cast<std::size_t>(v)] == 1), -1);
+  }
+}
+
+}  // namespace sm::sat

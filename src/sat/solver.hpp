@@ -1,0 +1,96 @@
+// A compact CDCL SAT solver (watched literals, 1-UIP clause learning,
+// VSIDS-style activities, geometric restarts, phase saving).
+//
+// Used by sm::core::check_equivalence as the complete decision procedure
+// behind the combinational equivalence check (the Formality substitute):
+// the miter CNF of two netlists is UNSAT iff they are equivalent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sm::sat {
+
+/// A literal: variable index v with sign. Encoded as 2*v (+) / 2*v+1 (-).
+struct Lit {
+  std::uint32_t code = 0;
+
+  static Lit make(int var, bool positive) {
+    return Lit{static_cast<std::uint32_t>(2 * var + (positive ? 0 : 1))};
+  }
+  int var() const { return static_cast<int>(code >> 1); }
+  bool positive() const { return (code & 1) == 0; }
+  Lit negated() const { return Lit{code ^ 1}; }
+  friend bool operator==(Lit a, Lit b) { return a.code == b.code; }
+};
+
+enum class Result { Sat, Unsat, Unknown };
+
+class Solver {
+ public:
+  /// Allocate a fresh variable; returns its index.
+  int new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Add a clause (disjunction of literals). Empty clause makes the
+  /// instance trivially UNSAT. Returns false if the formula is already
+  /// known unsatisfiable.
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Solve under optional assumptions. `max_conflicts` bounds the effort
+  /// (<=0 means unbounded); exceeding it yields Result::Unknown.
+  Result solve(const std::vector<Lit>& assumptions = {},
+               std::int64_t max_conflicts = -1);
+
+  /// Model access after Result::Sat.
+  bool value(int var) const { return assign_[static_cast<std::size_t>(var)] == 1; }
+
+  std::int64_t conflicts() const { return stats_conflicts_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    double activity = 0.0;
+  };
+
+  // Assignment: -1 unassigned, 0 false, 1 true (indexed by var).
+  std::vector<std::int8_t> assign_;
+  std::vector<std::int8_t> phase_;      ///< saved phase per var
+  std::vector<int> level_;              ///< decision level per var
+  std::vector<std::int32_t> reason_;    ///< clause index or -1
+  std::vector<double> activity_;        ///< VSIDS score per var
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<std::int32_t>> watches_;  ///< per literal code
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t propagate_head_ = 0;
+  double var_inc_ = 1.0;
+  bool unsat_ = false;
+  std::int64_t stats_conflicts_ = 0;
+
+  bool lit_true(Lit l) const {
+    const auto a = assign_[static_cast<std::size_t>(l.var())];
+    return a >= 0 && (a == 1) == l.positive();
+  }
+  bool lit_false(Lit l) const {
+    const auto a = assign_[static_cast<std::size_t>(l.var())];
+    return a >= 0 && (a == 1) != l.positive();
+  }
+  bool lit_unassigned(Lit l) const {
+    return assign_[static_cast<std::size_t>(l.var())] < 0;
+  }
+  int current_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  void enqueue(Lit l, std::int32_t reason);
+  std::int32_t propagate();  ///< returns conflicting clause index or -1
+  void analyze(std::int32_t confl, std::vector<Lit>& learnt, int& back_level);
+  void backtrack(int level);
+  void bump_var(int var);
+  void decay_activities();
+  int pick_branch_var();
+  void attach_clause(std::int32_t ci);
+  void reduce_learnts();
+};
+
+}  // namespace sm::sat

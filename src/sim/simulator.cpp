@@ -1,0 +1,178 @@
+#include "sim/simulator.hpp"
+
+#include "netlist/topo.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace sm::sim {
+
+using netlist::Cell;
+using netlist::CellId;
+using netlist::kInvalidNet;
+using netlist::LogicFn;
+using netlist::Net;
+using netlist::NetId;
+using netlist::Netlist;
+
+Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
+  const auto order = netlist::topological_order(nl);
+  if (!order)
+    throw std::logic_error("Simulator: netlist has a combinational cycle");
+  // Keep only combinational gates in evaluation order; sources/observers are
+  // collected separately, in deterministic id order.
+  for (const CellId id : *order)
+    if (nl.is_combinational(id)) order_.push_back(id);
+
+  for (const CellId pi : nl.primary_inputs()) sources_.push_back(nl.cell(pi).output);
+  for (CellId id = 0; id < nl.num_cells(); ++id)
+    if (nl.is_dff(id)) sources_.push_back(nl.cell(id).output);
+
+  for (const CellId po : nl.primary_outputs())
+    observers_.push_back(nl.cell(po).inputs.at(0));
+  for (CellId id = 0; id < nl.num_cells(); ++id)
+    if (nl.is_dff(id)) observers_.push_back(nl.cell(id).inputs.at(0));
+
+  values_.assign(nl.num_nets(), 0);
+}
+
+void Simulator::eval(const std::vector<std::uint64_t>& source_words,
+                     std::vector<std::uint64_t>& observer_words) const {
+  if (source_words.size() != sources_.size())
+    throw std::invalid_argument("Simulator::eval: source word count mismatch");
+  for (std::size_t i = 0; i < sources_.size(); ++i)
+    values_[sources_[i]] = source_words[i];
+
+  for (const CellId id : order_) {
+    const Cell& c = nl_->cell(id);
+    const LogicFn fn = nl_->type_of(id).fn;
+    std::uint64_t v = 0;
+    switch (fn) {
+      case LogicFn::Const0: v = 0; break;
+      case LogicFn::Const1: v = ~0ULL; break;
+      case LogicFn::Buf: v = values_[c.inputs[0]]; break;
+      case LogicFn::Inv: v = ~values_[c.inputs[0]]; break;
+      case LogicFn::And:
+      case LogicFn::Nand: {
+        v = ~0ULL;
+        for (const NetId in : c.inputs) v &= values_[in];
+        if (fn == LogicFn::Nand) v = ~v;
+        break;
+      }
+      case LogicFn::Or:
+      case LogicFn::Nor: {
+        v = 0;
+        for (const NetId in : c.inputs) v |= values_[in];
+        if (fn == LogicFn::Nor) v = ~v;
+        break;
+      }
+      case LogicFn::Xor: v = values_[c.inputs[0]] ^ values_[c.inputs[1]]; break;
+      case LogicFn::Xnor: v = ~(values_[c.inputs[0]] ^ values_[c.inputs[1]]); break;
+      case LogicFn::Aoi21:
+        v = ~((values_[c.inputs[0]] & values_[c.inputs[1]]) | values_[c.inputs[2]]);
+        break;
+      case LogicFn::Oai21:
+        v = ~((values_[c.inputs[0]] | values_[c.inputs[1]]) & values_[c.inputs[2]]);
+        break;
+      case LogicFn::Mux2: {
+        const std::uint64_t s = values_[c.inputs[2]];
+        v = (values_[c.inputs[0]] & ~s) | (values_[c.inputs[1]] & s);
+        break;
+      }
+      case LogicFn::Dff:
+      case LogicFn::Port:
+        continue;  // not combinational; handled via sources/observers
+    }
+    if (c.output != kInvalidNet) values_[c.output] = v;
+  }
+
+  observer_words.resize(observers_.size());
+  for (std::size_t i = 0; i < observers_.size(); ++i)
+    observer_words[i] = values_[observers_[i]];
+}
+
+namespace {
+
+std::size_t words_for(std::size_t patterns) { return (patterns + 63) / 64; }
+
+}  // namespace
+
+ErrorRates compare(const Netlist& golden, const Netlist& dut,
+                   std::size_t patterns, std::uint64_t seed) {
+  Simulator sg(golden);
+  Simulator sd(dut);
+  if (sg.num_sources() != sd.num_sources() ||
+      sg.num_observers() != sd.num_observers())
+    throw std::invalid_argument("compare: source/observer count mismatch");
+
+  util::Rng rng(seed);
+  const std::size_t words = words_for(patterns);
+  std::vector<std::uint64_t> src(sg.num_sources());
+  std::vector<std::uint64_t> out_g, out_d;
+
+  std::size_t wrong_bits = 0;
+  std::size_t wrong_patterns = 0;
+  std::size_t total_patterns = 0;
+
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t batch =
+        std::min<std::size_t>(64, patterns - total_patterns);
+    const std::uint64_t mask =
+        batch == 64 ? ~0ULL : ((1ULL << batch) - 1);
+    for (auto& word : src) word = rng();
+    sg.eval(src, out_g);
+    sd.eval(src, out_d);
+    std::uint64_t any_diff = 0;
+    for (std::size_t i = 0; i < out_g.size(); ++i) {
+      const std::uint64_t diff = (out_g[i] ^ out_d[i]) & mask;
+      wrong_bits += static_cast<std::size_t>(std::popcount(diff));
+      any_diff |= diff;
+    }
+    wrong_patterns += static_cast<std::size_t>(std::popcount(any_diff));
+    total_patterns += batch;
+  }
+
+  ErrorRates r;
+  r.patterns = total_patterns;
+  if (total_patterns == 0 || sg.num_observers() == 0) return r;
+  r.oer = static_cast<double>(wrong_patterns) / static_cast<double>(total_patterns);
+  r.hd = static_cast<double>(wrong_bits) /
+         static_cast<double>(total_patterns * sg.num_observers());
+  return r;
+}
+
+bool equivalent(const Netlist& a, const Netlist& b, std::size_t patterns,
+                std::uint64_t seed) {
+  const ErrorRates r = compare(a, b, patterns, seed);
+  return r.oer == 0.0;
+}
+
+std::vector<double> toggle_rates(const Netlist& nl, std::size_t patterns,
+                                 std::uint64_t seed) {
+  Simulator s(nl);
+  util::Rng rng(seed);
+  const std::size_t words = words_for(patterns);
+  std::vector<std::uint64_t> src(s.num_sources());
+  std::vector<std::uint64_t> out;
+  std::vector<std::size_t> ones(nl.num_nets(), 0);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t batch = std::min<std::size_t>(64, patterns - total);
+    const std::uint64_t mask = batch == 64 ? ~0ULL : ((1ULL << batch) - 1);
+    for (auto& word : src) word = rng();
+    s.eval(src, out);
+    const auto& vals = s.net_values();
+    for (NetId n = 0; n < nl.num_nets(); ++n)
+      ones[n] += static_cast<std::size_t>(std::popcount(vals[n] & mask));
+    total += batch;
+  }
+  std::vector<double> act(nl.num_nets(), 0.0);
+  if (total == 0) return act;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const double p = static_cast<double>(ones[n]) / static_cast<double>(total);
+    act[n] = 2.0 * p * (1.0 - p);  // random-stimulus switching probability
+  }
+  return act;
+}
+
+}  // namespace sm::sim

@@ -1,0 +1,95 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sm::util {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  for (double v : values) s.sum += v;
+  s.mean = s.sum / static_cast<double>(s.count);
+  const std::size_t n = values.size();
+  s.median = (n % 2 == 1) ? values[n / 2]
+                          : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+  double var = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    var += d * d;
+  }
+  // Population variance: matches how layout distance spreads are reported.
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+double percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (pct <= 0.0) return values.front();
+  if (pct >= 100.0) return values.back();
+  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+Histogram::Histogram(double low, double high, std::size_t bins)
+    : lo(low), hi(high), counts(bins, 0) {}
+
+void Histogram::add(double v) {
+  if (counts.empty()) return;
+  const double span = hi - lo;
+  std::size_t idx = 0;
+  if (span > 0.0) {
+    const double t = (v - lo) / span;
+    const auto raw = static_cast<long long>(t * static_cast<double>(counts.size()));
+    idx = static_cast<std::size_t>(
+        std::clamp<long long>(raw, 0, static_cast<long long>(counts.size()) - 1));
+  }
+  ++counts[idx];
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (auto c : counts) peak = std::max(peak, c);
+  std::ostringstream os;
+  const double span = hi - lo;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double bl = lo + span * static_cast<double>(i) /
+                               static_cast<double>(counts.size());
+    const double bh = lo + span * static_cast<double>(i + 1) /
+                               static_cast<double>(counts.size());
+    const std::size_t bar =
+        peak == 0 ? 0 : counts[i] * width / peak;
+    os << '[';
+    os.width(8);
+    os << bl;
+    os << ',';
+    os.width(8);
+    os << bh;
+    os << ") ";
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << ' ' << counts[i] << '\n';
+  }
+  return os.str();
+}
+
+double pct_delta(double base, double now) {
+  if (base == 0.0) return 0.0;
+  return 100.0 * (now - base) / base;
+}
+
+}  // namespace sm::util

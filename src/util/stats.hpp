@@ -1,0 +1,47 @@
+// Descriptive statistics used by the evaluation section:
+// Table 1 reports mean/median/stddev of driver–sink distances; Fig. 4 plots
+// their distributions; several benches report percentage deltas.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sm::util {
+
+/// Summary of a sample: count, mean, median, standard deviation, min, max.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Compute a Summary over `values`. Sorts a copy for the median.
+Summary summarize(std::vector<double> values);
+
+/// Percentile (0..100) of a sample; linear interpolation between ranks.
+double percentile(std::vector<double> values, double pct);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped to the first/last bucket.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  Histogram(double low, double high, std::size_t bins);
+  void add(double v);
+  std::size_t total() const;
+  /// Render as a compact ASCII bar chart (for Fig. 4-style output).
+  std::string ascii(std::size_t width = 50) const;
+};
+
+/// Percentage change from `base` to `now`: 100*(now-base)/base.
+/// Returns 0 when base == 0 to keep tables printable.
+double pct_delta(double base, double now);
+
+}  // namespace sm::util

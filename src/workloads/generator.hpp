@@ -1,0 +1,66 @@
+// Synthetic benchmark generation.
+//
+// The paper evaluates on nine ISCAS-85 circuits and five IBM superblue
+// designs (ISPD-2011). Neither suite is redistributable inside this offline
+// repo, so we generate *clones*: random layered DAG netlists whose published
+// structural parameters (PI/PO counts, gate count, sequential fraction,
+// design utilization) match the originals — scaled down for superblue so the
+// full place/route/attack pipeline runs in minutes. The security and layout
+// metrics the paper reports are functions of graph structure and physical
+// design, not of the specific Boolean functions, so the clones exercise the
+// same code paths and reproduce the same qualitative behaviour (see
+// DESIGN.md section 2).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sm::workloads {
+
+/// Parameters of a generated netlist.
+struct GenSpec {
+  std::string name = "bench";
+  int num_pi = 16;
+  int num_po = 8;
+  int num_gates = 200;        ///< combinational gates + DFFs
+  double dff_fraction = 0.0;  ///< fraction of gates that are DFFs
+  /// Input-selection locality: inputs are drawn from the most recent
+  /// `locality_window` nets with high probability; larger windows give
+  /// shallower, wider circuits.
+  int locality_window = 64;
+  /// Two-scale locality (Rent-like): with probability `short_bias` the input
+  /// comes from the last `short_window` nets instead of the full window.
+  /// Real designs are dominated by adjacent-gate connections — this is what
+  /// makes placed layouts exhibit the small driver-sink distances that
+  /// proximity attacks feed on (paper Table 1: superblue medians ~3 um).
+  double short_bias = 0.8;
+  int short_window = 12;
+  /// Probability of continuing to grow a net's fanout (geometric).
+  double fanout_decay = 0.35;
+  int max_fanout = 12;
+  /// Target placement utilization (consumed by the placer).
+  double utilization = 0.70;
+};
+
+/// Generate a random, acyclic, fully connected netlist for `spec`.
+/// Deterministic in (spec, seed). Every net has at least one sink and the
+/// result passes Netlist::validate().
+netlist::Netlist generate(const netlist::CellLibrary& lib, const GenSpec& spec,
+                          std::uint64_t seed);
+
+/// The nine ISCAS-85 profiles used in Tables 4/5 (published PI/PO/gate
+/// counts). Throws std::invalid_argument for unknown names.
+GenSpec iscas85_profile(const std::string& name);
+const std::vector<std::string>& iscas85_names();
+
+/// The five superblue profiles used in Tables 1/2/3/6 and Figs. 4/5.
+/// `scale` in (0, 1] shrinks cell and I/O counts (I/O scales with sqrt of
+/// the cell scale, mirroring perimeter-vs-area); scale=1 approximates the
+/// published instance sizes (~0.7-1.5M cells — impractically slow here).
+GenSpec superblue_profile(const std::string& name, double scale = 0.02);
+const std::vector<std::string>& superblue_names();
+
+}  // namespace sm::workloads

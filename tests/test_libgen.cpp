@@ -1,0 +1,55 @@
+// Correction-cell library definition generator tests.
+#include "core/libgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace sm;
+
+TEST(LibGen, LibertyContainsAllPinsAndArcs) {
+  netlist::CellLibrary lib{6};
+  const std::string text = core::correction_liberty(lib);
+  EXPECT_NE(text.find("cell (SM_CORR)"), std::string::npos);
+  EXPECT_NE(text.find("cell (SM_LIFT)"), std::string::npos);
+  for (const char* pin : {"pin (C)", "pin (D)", "pin (Y)", "pin (Z)"})
+    EXPECT_NE(text.find(pin), std::string::npos) << pin;
+  // Four timing arcs: both outputs list both inputs as related pins.
+  std::size_t arcs = 0;
+  for (std::size_t pos = text.find("related_pin"); pos != std::string::npos;
+       pos = text.find("related_pin", pos + 1))
+    ++arcs;
+  EXPECT_GE(arcs, 5u);  // 4 for SM_CORR + 1 for SM_LIFT
+  // Zero area: no die footprint.
+  EXPECT_NE(text.find("area : 0"), std::string::npos);
+}
+
+TEST(LibGen, LefUsesConfiguredLayer) {
+  netlist::CellLibrary lib6{6}, lib8{8};
+  const std::string lef6 = core::correction_lef(lib6);
+  const std::string lef8 = core::correction_lef(lib8);
+  EXPECT_NE(lef6.find("LAYER M6"), std::string::npos);
+  EXPECT_EQ(lef6.find("LAYER M8"), std::string::npos);
+  EXPECT_NE(lef8.find("LAYER M8"), std::string::npos);
+  // COVER class = overlap-legal macro.
+  EXPECT_NE(lef6.find("CLASS COVER"), std::string::npos);
+  for (const char* pin : {"PIN C", "PIN D", "PIN Y", "PIN Z"})
+    EXPECT_NE(lef6.find(pin), std::string::npos) << pin;
+}
+
+TEST(LibGen, RestoreConstraintsDisableMisleadingArcs) {
+  std::ostringstream os;
+  core::write_restore_constraints({"u_corr_0", "u_corr_1"}, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("set_disable_timing u_corr_0 -from C -to Z"),
+            std::string::npos);
+  EXPECT_NE(text.find("set_disable_timing u_corr_1 -from D -to Y"),
+            std::string::npos);
+  // True arcs are never disabled.
+  EXPECT_EQ(text.find("-from C -to Y"), std::string::npos);
+  EXPECT_EQ(text.find("-from D -to Z"), std::string::npos);
+}
+
+}  // namespace

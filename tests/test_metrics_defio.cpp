@@ -1,0 +1,137 @@
+// Metrics helpers and DEF export/round-trip tests.
+#include "core/defio.hpp"
+#include "core/protect.hpp"
+#include "metrics/report.hpp"
+#include "workloads/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace sm;
+using netlist::CellLibrary;
+using netlist::NetId;
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  CellLibrary lib;
+  core::FlowOptions flow() const {
+    core::FlowOptions f;
+    f.placer.target_utilization = 0.45;
+    return f;
+  }
+};
+
+TEST_F(MetricsTest, ConnectionDistancesCountEverySink) {
+  const auto nl = workloads::generate(lib, workloads::iscas85_profile("c432"), 1);
+  place::Placer placer;
+  const auto pl = placer.place(nl);
+  std::size_t sinks = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) sinks += nl.net(n).sinks.size();
+  EXPECT_EQ(metrics::all_connection_distances(nl, pl).size(), sinks);
+
+  const std::vector<NetId> subset{0, 1, 2};
+  std::size_t expect = 0;
+  for (const NetId n : subset) expect += nl.net(n).sinks.size();
+  EXPECT_EQ(metrics::connection_distances(nl, pl, subset).size(), expect);
+}
+
+TEST_F(MetricsTest, LayerSharesSumTo100) {
+  const auto nl = workloads::generate(lib, workloads::iscas85_profile("c880"), 2);
+  const auto layout = core::layout_original(nl, flow());
+  const auto wire = metrics::per_layer_wirelength(layout.routing);
+  const auto share = metrics::layer_shares(wire);
+  double sum = 0;
+  for (const double s : share) sum += s;
+  EXPECT_NEAR(sum, 100.0, 1e-6);
+  // Restricting to a subset never yields more wire than the whole.
+  const auto some = metrics::per_layer_wirelength(layout.routing, {0, 1, 2, 3});
+  for (std::size_t l = 0; l < wire.size(); ++l) EXPECT_LE(some[l], wire[l] + 1e-9);
+}
+
+TEST_F(MetricsTest, LayerSharesEmptyIsZero) {
+  std::array<double, netlist::MetalStack::kNumLayers + 1> none{};
+  const auto share = metrics::layer_shares(none);
+  for (const double s : share) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST_F(MetricsTest, ViaDeltaPercentAndAbsolute) {
+  route::RoutingStats base, other;
+  base.vias[1] = 100;
+  other.vias[1] = 130;
+  base.vias[7] = 0;
+  other.vias[7] = 55;
+  const auto d = metrics::via_delta(base, other);
+  EXPECT_DOUBLE_EQ(d.pct[1], 30.0);
+  EXPECT_EQ(d.cell(1), "30.00%");
+  EXPECT_EQ(d.cell(7), "+55");
+  EXPECT_EQ(d.cell(5), "0");
+}
+
+class DefTest : public ::testing::Test {
+ protected:
+  CellLibrary lib{6};
+};
+
+TEST_F(DefTest, FullExportContainsEverything) {
+  const auto nl = workloads::generate(lib, workloads::iscas85_profile("c432"), 1);
+  core::FlowOptions f;
+  f.placer.target_utilization = 0.45;
+  const auto layout = core::layout_original(nl, f);
+  const std::string def =
+      core::to_def(nl, layout.placement, layout.routing, layout.tasks);
+  std::istringstream is(def);
+  const auto s = core::read_def_summary(is);
+  EXPECT_EQ(s.design, nl.name());
+  EXPECT_EQ(s.components, nl.num_gates());
+  EXPECT_EQ(s.nets, layout.tasks.size());
+  std::size_t segs = 0;
+  for (const auto c : s.segments) segs += c;
+  EXPECT_GT(segs, nl.num_nets());  // routed wires exist
+}
+
+TEST_F(DefTest, SplitExportHidesBeol) {
+  const auto nl = workloads::generate(lib, workloads::iscas85_profile("c880"), 2);
+  core::FlowOptions f;
+  f.placer.target_utilization = 0.45;
+  core::RandomizeOptions r;
+  r.seed = 4;
+  const auto design = core::protect(nl, r, f);
+  std::ostringstream full_os, split_os;
+  core::write_def(design.erroneous, design.layout.placement,
+                  design.layout.routing, design.layout.tasks, full_os);
+  core::write_split_def(design.erroneous, design.layout.placement,
+                        design.layout.routing, design.layout.tasks,
+                        design.layout.num_net_tasks, 4, split_os);
+  std::istringstream full_is(full_os.str()), split_is(split_os.str());
+  const auto full = core::read_def_summary(full_is);
+  const auto split = core::read_def_summary(split_is);
+
+  // The FEOL view exposes vpins, has no wiring above the split layer, and
+  // no BEOL restoration wires.
+  EXPECT_GT(split.vpins, 0u);
+  EXPECT_EQ(full.vpins, 0u);
+  for (int l = 5; l <= 10; ++l)
+    EXPECT_EQ(split.segments[static_cast<std::size_t>(l)], 0u);
+  EXPECT_GT(full.segments[8] + full.segments[9], 0u);  // lifted wiring at M8+
+  EXPECT_LT(split.nets, full.nets);  // restoration wires removed
+  EXPECT_EQ(split.components, full.components);
+}
+
+TEST_F(DefTest, VpinCountMatchesSplitView) {
+  const auto nl = workloads::generate(lib, workloads::iscas85_profile("c432"), 3);
+  core::FlowOptions f;
+  f.placer.target_utilization = 0.45;
+  const auto layout = core::layout_original(nl, f);
+  const auto view = core::split_layout(nl, layout.placement, layout.routing,
+                                       layout.tasks, layout.num_net_tasks, 3);
+  std::ostringstream os;
+  core::write_split_def(nl, layout.placement, layout.routing, layout.tasks,
+                        layout.num_net_tasks, 3, os);
+  std::istringstream is(os.str());
+  EXPECT_EQ(core::read_def_summary(is).vpins, view.num_vpins());
+}
+
+}  // namespace

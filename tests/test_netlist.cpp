@@ -1,0 +1,195 @@
+// Unit tests for sm::netlist — library contents, netlist construction and
+// mutation invariants, topological utilities, loop detection.
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/topo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sm::netlist;
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  CellLibrary lib{6};
+};
+
+TEST_F(NetlistTest, LibraryHasExpectedCells) {
+  EXPECT_NO_THROW(lib.id_of("INV_X1"));
+  EXPECT_NO_THROW(lib.id_of("NAND2_X1"));
+  EXPECT_NO_THROW(lib.id_of("BUF_X8"));
+  EXPECT_NO_THROW(lib.id_of("SM_CORR"));
+  EXPECT_NO_THROW(lib.id_of("SM_LIFT"));
+  EXPECT_THROW(lib.id_of("NOPE_X1"), std::invalid_argument);
+  EXPECT_FALSE(lib.find("NOPE_X1").has_value());
+}
+
+TEST_F(NetlistTest, CorrectionCellProperties) {
+  const CellType& corr = lib.type(lib.correction_cell());
+  EXPECT_EQ(corr.cls, CellClass::Correction);
+  EXPECT_EQ(corr.pin_layer, 6);
+  EXPECT_DOUBLE_EQ(corr.area_um2, 0.0);  // zero die-area contribution
+  // Power/timing borrowed from BUF_X2 (paper Sec. 4).
+  const CellType& buf2 = lib.type(lib.id_of("BUF_X2"));
+  EXPECT_DOUBLE_EQ(corr.input_cap_ff, buf2.input_cap_ff);
+  EXPECT_DOUBLE_EQ(corr.drive_res_kohm, buf2.drive_res_kohm);
+
+  CellLibrary lib8{8};
+  EXPECT_EQ(lib8.type(lib8.correction_cell()).pin_layer, 8);
+}
+
+TEST_F(NetlistTest, MetalStackShape) {
+  const MetalStack& m = lib.metal();
+  EXPECT_EQ(m.num_layers(), 10);
+  EXPECT_EQ(m.layer(1).name, "M1");
+  EXPECT_EQ(m.layer(10).name, "M10");
+  EXPECT_EQ(m.layer(1).preferred, Direction::Horizontal);
+  EXPECT_EQ(m.layer(2).preferred, Direction::Vertical);
+  // Upper layers are coarser and less resistive.
+  EXPECT_GT(m.layer(9).pitch_um, m.layer(1).pitch_um);
+  EXPECT_LT(m.layer(9).res_ohm_per_um, m.layer(1).res_ohm_per_um);
+  EXPECT_THROW(m.layer(0), std::out_of_range);
+  EXPECT_THROW(m.layer(11), std::out_of_range);
+}
+
+TEST_F(NetlistTest, BufferStrengthLookup) {
+  EXPECT_EQ(lib.type(lib.buffer(8)).name, "BUF_X8");
+  EXPECT_THROW(lib.buffer(3), std::invalid_argument);
+}
+
+// Build: y = NAND(a, b); z = INV(y)
+Netlist make_small(const CellLibrary& lib) {
+  Netlist nl(lib, "small");
+  const NetId a = nl.add_primary_input("a");
+  const NetId b = nl.add_primary_input("b");
+  const CellId g1 = nl.add_cell("g1", lib.id_of("NAND2_X1"));
+  nl.connect_input(g1, 0, a);
+  nl.connect_input(g1, 1, b);
+  const CellId g2 = nl.add_cell("g2", lib.id_of("INV_X1"));
+  nl.connect_input(g2, 0, nl.cell(g1).output);
+  nl.add_primary_output("z", nl.cell(g2).output);
+  return nl;
+}
+
+TEST_F(NetlistTest, ConstructionInvariants) {
+  const Netlist nl = make_small(lib);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  const CellId g1 = nl.find_cell("g1");
+  ASSERT_NE(g1, kInvalidCell);
+  EXPECT_EQ(nl.net(nl.cell(g1).output).sinks.size(), 1u);
+}
+
+TEST_F(NetlistTest, ReconnectSinkMovesFanout) {
+  Netlist nl = make_small(lib);
+  const CellId g2 = nl.find_cell("g2");
+  const CellId g1 = nl.find_cell("g1");
+  const NetId a = nl.primary_input_net(0);
+  const NetId g1_out = nl.cell(g1).output;
+
+  nl.reconnect_sink(g2, 0, a);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_TRUE(nl.net(g1_out).sinks.empty());
+  // Net `a` now feeds both g1 and g2.
+  EXPECT_EQ(nl.net(a).sinks.size(), 2u);
+}
+
+TEST_F(NetlistTest, ValidateCatchesUnconnectedPin) {
+  Netlist nl(lib, "bad");
+  const NetId a = nl.add_primary_input("a");
+  const CellId g = nl.add_cell("g", lib.id_of("NAND2_X1"));
+  nl.connect_input(g, 0, a);  // pin 1 left open
+  EXPECT_THROW(nl.validate(), std::logic_error);
+}
+
+TEST_F(NetlistTest, TopologicalOrderRespectsDependencies) {
+  const Netlist nl = make_small(lib);
+  const auto order = topological_order(nl);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), nl.num_cells());
+  std::vector<std::size_t> pos(nl.num_cells());
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  const CellId g1 = nl.find_cell("g1"), g2 = nl.find_cell("g2");
+  EXPECT_LT(pos[g1], pos[g2]);
+}
+
+TEST_F(NetlistTest, LevelizeDepths) {
+  const Netlist nl = make_small(lib);
+  const auto level = levelize(nl);
+  // Sources (PIs/ports) are level 0; a gate fed only by PIs is level 0 too
+  // (no combinational predecessor), its fanout gate is level 1.
+  const CellId g1 = nl.find_cell("g1"), g2 = nl.find_cell("g2");
+  EXPECT_EQ(level[g1], 0);
+  EXPECT_EQ(level[g2], 1);
+}
+
+TEST_F(NetlistTest, LoopDetection) {
+  Netlist nl = make_small(lib);
+  const CellId g1 = nl.find_cell("g1");
+  const CellId g2 = nl.find_cell("g2");
+  // Feeding g2's output back into g1 closes a combinational loop.
+  EXPECT_TRUE(creates_combinational_loop(nl, g2, g1));
+  // Feeding a PI forward never loops.
+  EXPECT_FALSE(creates_combinational_loop(nl, nl.net(nl.primary_input_net(0)).driver, g2));
+  // Self-loop counts.
+  EXPECT_TRUE(creates_combinational_loop(nl, g1, g1));
+
+  // Actually closing the loop makes the netlist cyclic.
+  nl.reconnect_sink(g1, 1, nl.cell(g2).output);
+  EXPECT_FALSE(is_acyclic(nl));
+  EXPECT_THROW(levelize(nl), std::logic_error);
+}
+
+TEST_F(NetlistTest, DffBreaksCombinationalLoops) {
+  Netlist nl(lib, "seq");
+  const NetId a = nl.add_primary_input("a");
+  const CellId ff = nl.add_cell("ff", lib.dff());
+  const CellId g = nl.add_cell("g", lib.id_of("AND2_X1"));
+  nl.connect_input(g, 0, a);
+  nl.connect_input(g, 1, nl.cell(ff).output);
+  nl.connect_input(ff, 0, nl.cell(g).output);  // g -> ff -> g: sequential loop
+  nl.add_primary_output("z", nl.cell(g).output);
+  nl.validate();
+  EXPECT_TRUE(is_acyclic(nl));  // DFF breaks the cycle
+  EXPECT_FALSE(creates_combinational_loop(nl, ff, g));
+}
+
+TEST_F(NetlistTest, CombinationalFanoutStopsAtDff) {
+  Netlist nl(lib, "seq2");
+  const NetId a = nl.add_primary_input("a");
+  const CellId inv = nl.add_cell("inv", lib.id_of("INV_X1"));
+  nl.connect_input(inv, 0, a);
+  const CellId ff = nl.add_cell("ff", lib.dff());
+  nl.connect_input(ff, 0, nl.cell(inv).output);
+  const CellId inv2 = nl.add_cell("inv2", lib.id_of("INV_X1"));
+  nl.connect_input(inv2, 0, nl.cell(ff).output);
+  nl.add_primary_output("z", nl.cell(inv2).output);
+
+  const auto fan = combinational_fanout(nl, a);
+  // inv and ff are reached; inv2 is beyond the sequential boundary.
+  EXPECT_NE(std::find(fan.begin(), fan.end(), inv), fan.end());
+  EXPECT_NE(std::find(fan.begin(), fan.end(), ff), fan.end());
+  EXPECT_EQ(std::find(fan.begin(), fan.end(), inv2), fan.end());
+}
+
+TEST_F(NetlistTest, CloneIsIndependent) {
+  Netlist nl = make_small(lib);
+  Netlist copy = nl.clone();
+  const CellId g2 = copy.find_cell("g2");
+  copy.reconnect_sink(g2, 0, copy.primary_input_net(0));
+  // Original unaffected.
+  const CellId g1 = nl.find_cell("g1");
+  EXPECT_EQ(nl.net(nl.cell(g1).output).sinks.size(), 1u);
+}
+
+TEST(FnArity, MatchesFunctions) {
+  EXPECT_EQ(fn_arity(LogicFn::Inv, 1), 1);
+  EXPECT_EQ(fn_arity(LogicFn::Mux2, 3), 3);
+  EXPECT_EQ(fn_arity(LogicFn::Nand, 4), 4);
+  EXPECT_EQ(fn_arity(LogicFn::Const1, 0), 0);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Placement tests: FM partitioner behaviour, floorplan sizing, legality,
+// and the key security-relevant property — connected gates end up close.
+#include "place/fm.hpp"
+#include "place/placer.hpp"
+#include "util/stats.hpp"
+#include "workloads/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using namespace sm::place;
+using sm::netlist::CellId;
+using sm::netlist::CellLibrary;
+using sm::netlist::NetId;
+using sm::netlist::Netlist;
+
+TEST(Fm, EmptyProblem) {
+  FmProblem p;
+  const auto r = fm_bipartition(p);
+  EXPECT_TRUE(r.side.empty());
+  EXPECT_EQ(r.cut, 0);
+}
+
+TEST(Fm, SeparatesTwoCliques) {
+  // Two 6-cliques joined by one edge: min cut = 1.
+  FmProblem p;
+  p.weight.assign(12, 1.0);
+  auto clique = [&](std::uint32_t base) {
+    for (std::uint32_t i = 0; i < 6; ++i)
+      for (std::uint32_t j = i + 1; j < 6; ++j)
+        p.edges.push_back({base + i, base + j});
+  };
+  clique(0);
+  clique(6);
+  p.edges.push_back({0, 6});
+  p.seed = 3;
+  const auto r = fm_bipartition(p);
+  EXPECT_EQ(r.cut, 1);
+  // Each clique is entirely on one side.
+  for (std::uint32_t i = 1; i < 6; ++i) EXPECT_EQ(r.side[i], r.side[0]);
+  for (std::uint32_t i = 7; i < 12; ++i) EXPECT_EQ(r.side[i], r.side[6]);
+  EXPECT_NE(r.side[0], r.side[6]);
+}
+
+TEST(Fm, RespectsBalance) {
+  FmProblem p;
+  p.weight.assign(100, 1.0);
+  for (std::uint32_t i = 0; i + 1 < 100; ++i) p.edges.push_back({i, i + 1});
+  p.balance_tolerance = 0.1;
+  const auto r = fm_bipartition(p);
+  double w0 = 0;
+  for (std::uint32_t i = 0; i < 100; ++i)
+    if (r.side[i] == 0) w0 += 1.0;
+  EXPECT_GE(w0, 40.0);
+  EXPECT_LE(w0, 60.0);
+  // A chain of 99 edges has a balanced min cut of 1.
+  EXPECT_LE(r.cut, 3);
+}
+
+TEST(Fm, ExternalPinsBiasAssignment) {
+  // Item 0 is pulled to side 0 by 3 external pins, item 1 to side 1.
+  FmProblem p;
+  p.weight.assign(2, 1.0);
+  p.edges.push_back({0});
+  p.edges.push_back({1});
+  p.ext0 = {3, 0};
+  p.ext1 = {0, 3};
+  p.balance_tolerance = 0.6;  // allow any split
+  const auto r = fm_bipartition(p);
+  EXPECT_EQ(r.cut, 0);
+  EXPECT_EQ(r.side[0], 0);
+  EXPECT_EQ(r.side[1], 1);
+}
+
+TEST(Fm, CutSizeCountsExternal) {
+  FmProblem p;
+  p.weight.assign(1, 1.0);
+  p.edges.push_back({0});
+  p.ext0 = {0};
+  p.ext1 = {1};  // external pin on side 1
+  EXPECT_EQ(fm_cut_size(p, {0}), 1);  // item on 0, external on 1 -> cut
+  EXPECT_EQ(fm_cut_size(p, {1}), 0);
+}
+
+TEST(Fm, DeterministicForSeed) {
+  FmProblem p;
+  p.weight.assign(40, 1.0);
+  sm::util::Rng rng(9);
+  for (int e = 0; e < 80; ++e)
+    p.edges.push_back({static_cast<std::uint32_t>(rng.below(40)),
+                       static_cast<std::uint32_t>(rng.below(40))});
+  p.seed = 5;
+  const auto a = fm_bipartition(p);
+  const auto b = fm_bipartition(p);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+class PlacerTest : public ::testing::Test {
+ protected:
+  CellLibrary lib;
+};
+
+TEST_F(PlacerTest, FloorplanMatchesUtilization) {
+  const auto nl = sm::workloads::generate(
+      lib, sm::workloads::iscas85_profile("c880"), 1);
+  PlacerOptions opts;
+  opts.target_utilization = 0.6;
+  Placer placer(opts);
+  const Floorplan fp = placer.make_floorplan(nl);
+  double cell_area = 0;
+  for (CellId id = 0; id < nl.num_cells(); ++id)
+    cell_area += nl.type_of(id).area_um2;
+  const double util = cell_area / fp.die.area();
+  EXPECT_NEAR(util, 0.6, 0.05);
+  EXPECT_GT(fp.num_rows, 4);
+}
+
+TEST_F(PlacerTest, AllCellsInsideDie) {
+  const auto nl = sm::workloads::generate(
+      lib, sm::workloads::iscas85_profile("c880"), 1);
+  Placer placer;
+  const Placement pl = placer.place(nl);
+  ASSERT_EQ(pl.pos.size(), nl.num_cells());
+  const auto die = pl.floorplan.die.inflated(1e-6);
+  for (CellId id = 0; id < nl.num_cells(); ++id)
+    EXPECT_TRUE(die.contains(pl.pos[id]))
+        << nl.cell(id).name << " at " << pl.pos[id];
+}
+
+TEST_F(PlacerTest, RowLegality) {
+  const auto nl = sm::workloads::generate(
+      lib, sm::workloads::iscas85_profile("c1355"), 2);
+  Placer placer;
+  const Placement pl = placer.place(nl);
+  // Every standard cell sits on a row center, and cells in the same row
+  // do not overlap.
+  struct Span { double lo, hi; };
+  std::map<int, std::vector<Span>> rows;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    if (nl.type_of(id).cls != sm::netlist::CellClass::Standard) continue;
+    const double y = pl.pos[id].y;
+    const double rowf =
+        (y - pl.floorplan.die.lo.y) / pl.floorplan.row_height_um - 0.5;
+    const int row = static_cast<int>(std::lround(rowf));
+    EXPECT_NEAR(pl.floorplan.row_y(row), y, 1e-6);
+    const double w = nl.type_of(id).width_um;
+    rows[row].push_back({pl.pos[id].x - w / 2, pl.pos[id].x + w / 2});
+  }
+  for (auto& [row, spans] : rows) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.lo < b.lo; });
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      EXPECT_GE(spans[i].lo, spans[i - 1].hi - 1e-6) << "overlap in row " << row;
+  }
+}
+
+TEST_F(PlacerTest, DeterministicPlacement) {
+  const auto nl = sm::workloads::generate(
+      lib, sm::workloads::iscas85_profile("c432"), 3);
+  Placer placer;
+  const Placement a = placer.place(nl);
+  const Placement b = placer.place(nl);
+  for (CellId id = 0; id < nl.num_cells(); ++id) EXPECT_EQ(a.pos[id], b.pos[id]);
+}
+
+TEST_F(PlacerTest, PlacementBeatsRandomByALot) {
+  // The security premise: a real placer puts connected gates close together.
+  const auto nl = sm::workloads::generate(
+      lib, sm::workloads::iscas85_profile("c1908"), 4);
+  Placer placer;
+  Placement pl = placer.place(nl);
+  const double placed = total_hpwl(nl, pl);
+
+  // Random placement baseline on the same floorplan.
+  Placement rnd = pl;
+  sm::util::Rng rng(7);
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    if (nl.type_of(id).cls != sm::netlist::CellClass::Standard) continue;
+    rnd.pos[id] = {rng.uniform(rnd.floorplan.die.lo.x, rnd.floorplan.die.hi.x),
+                   rng.uniform(rnd.floorplan.die.lo.y, rnd.floorplan.die.hi.y)};
+  }
+  const double random_hpwl = total_hpwl(nl, rnd);
+  EXPECT_LT(placed, random_hpwl * 0.55)
+      << "placed=" << placed << " random=" << random_hpwl;
+}
+
+TEST_F(PlacerTest, HpwlHelpers) {
+  Netlist nl(lib, "h");
+  const NetId a = nl.add_primary_input("a");
+  const CellId g = nl.add_cell("g", lib.id_of("BUF_X1"));
+  nl.connect_input(g, 0, a);
+  nl.add_primary_output("y", nl.cell(g).output);
+  Placement pl;
+  pl.floorplan.die = {{0, 0}, {10, 10}};
+  pl.pos = {{0, 0}, {3, 4}, {10, 10}};  // pi, g, po
+  EXPECT_DOUBLE_EQ(net_hpwl(nl, pl, a), 7.0);
+  const auto d = driver_sink_distances(nl, pl, a);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 7.0);
+  EXPECT_GT(total_hpwl(nl, pl), 0.0);
+}
+
+TEST_F(PlacerTest, DetailedPlaceDoesNotWorsen) {
+  const auto nl = sm::workloads::generate(
+      lib, sm::workloads::iscas85_profile("c432"), 6);
+  Placer placer;
+  Placement pl = placer.place(nl);
+  const double before = total_hpwl(nl, pl);
+  const double after = detailed_place(nl, pl, 2, 123);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+}  // namespace

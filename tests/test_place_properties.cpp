@@ -1,0 +1,89 @@
+// Placement property sweep: legality, determinism, and quality invariants
+// across benchmarks and seeds (TEST_P).
+#include "place/placer.hpp"
+#include "util/rng.hpp"
+#include "workloads/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace {
+
+using namespace sm;
+using netlist::CellId;
+using netlist::CellLibrary;
+
+struct PlaceCase {
+  std::string bench;
+  std::uint64_t seed;
+  double util;
+};
+
+std::string place_case_name(const ::testing::TestParamInfo<PlaceCase>& info) {
+  return info.param.bench + "_s" + std::to_string(info.param.seed) + "_u" +
+         std::to_string(static_cast<int>(info.param.util * 100));
+}
+
+class PlacerProperties : public ::testing::TestWithParam<PlaceCase> {};
+
+TEST_P(PlacerProperties, LegalDeterministicAndCompact) {
+  CellLibrary lib;
+  const auto nl = workloads::generate(
+      lib, workloads::iscas85_profile(GetParam().bench), GetParam().seed);
+  place::PlacerOptions opts;
+  opts.target_utilization = GetParam().util;
+  opts.seed = GetParam().seed;
+  place::Placer placer(opts);
+  const auto pl = placer.place(nl);
+
+  // Legality: inside die, on row centers, no overlap within rows.
+  const auto die = pl.floorplan.die.inflated(1e-6);
+  std::map<int, std::vector<std::pair<double, double>>> rows;
+  for (CellId id = 0; id < nl.num_cells(); ++id) {
+    ASSERT_TRUE(die.contains(pl.pos[id])) << nl.cell(id).name;
+    if (nl.type_of(id).cls != netlist::CellClass::Standard) continue;
+    const double rowf =
+        (pl.pos[id].y - pl.floorplan.die.lo.y) / pl.floorplan.row_height_um -
+        0.5;
+    const int row = static_cast<int>(std::lround(rowf));
+    ASSERT_NEAR(pl.floorplan.row_y(row), pl.pos[id].y, 1e-6);
+    const double w = nl.type_of(id).width_um;
+    rows[row].push_back({pl.pos[id].x - w / 2, pl.pos[id].x + w / 2});
+  }
+  for (auto& [row, spans] : rows) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      ASSERT_GE(spans[i].first, spans[i - 1].second - 1e-6)
+          << "overlap in row " << row;
+  }
+
+  // Determinism.
+  const auto again = placer.place(nl);
+  for (CellId id = 0; id < nl.num_cells(); ++id)
+    ASSERT_EQ(pl.pos[id], again.pos[id]);
+
+  // Quality: placed HPWL clearly beats a random shuffle of the same sites.
+  auto shuffled = pl;
+  std::vector<CellId> movable;
+  for (CellId id = 0; id < nl.num_cells(); ++id)
+    if (nl.type_of(id).cls == netlist::CellClass::Standard)
+      movable.push_back(id);
+  util::Rng rng(GetParam().seed ^ 0x5a5aULL);
+  for (std::size_t i = movable.size(); i-- > 1;) {
+    const auto j = static_cast<std::size_t>(rng.below(i + 1));
+    std::swap(shuffled.pos[movable[i]], shuffled.pos[movable[j]]);
+  }
+  EXPECT_LT(place::total_hpwl(nl, pl),
+            place::total_hpwl(nl, shuffled) * 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacerProperties,
+    ::testing::Values(PlaceCase{"c432", 1, 0.45}, PlaceCase{"c432", 5, 0.7},
+                      PlaceCase{"c880", 2, 0.45}, PlaceCase{"c1355", 3, 0.6},
+                      PlaceCase{"c1908", 4, 0.45}, PlaceCase{"c2670", 1, 0.5},
+                      PlaceCase{"c3540", 2, 0.45}, PlaceCase{"c5315", 1, 0.45}),
+    place_case_name);
+
+}  // namespace

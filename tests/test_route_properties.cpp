@@ -1,0 +1,104 @@
+// Routing property sweep across benchmarks and seeds (TEST_P):
+// completeness, connectivity of every route, stats consistency, and
+// determinism of the full netlist routing flow.
+#include "core/protect.hpp"
+#include "route/router.hpp"
+#include "workloads/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace {
+
+using namespace sm;
+using netlist::CellLibrary;
+using util::GridPoint;
+
+struct RouteCase {
+  std::string bench;
+  std::uint64_t seed;
+};
+
+std::string route_case_name(const ::testing::TestParamInfo<RouteCase>& info) {
+  return info.param.bench + "_s" + std::to_string(info.param.seed);
+}
+
+class RouterProperties : public ::testing::TestWithParam<RouteCase> {};
+
+TEST_P(RouterProperties, CompleteConsistentDeterministic) {
+  CellLibrary lib;
+  const auto nl = workloads::generate(
+      lib, workloads::iscas85_profile(GetParam().bench), GetParam().seed);
+  core::FlowOptions flow;
+  flow.placer.target_utilization = 0.45;
+  flow.placer.seed = GetParam().seed;
+  const auto layout = core::layout_original(nl, flow);
+
+  // Completeness.
+  ASSERT_EQ(layout.routing.stats.failed_nets, 0u);
+
+  // Stats recomputed from segments match the reported stats.
+  const auto re = route::collect_stats(layout.routing.grid, layout.routing.routes);
+  EXPECT_EQ(re.total_vias(), layout.routing.stats.total_vias());
+  EXPECT_DOUBLE_EQ(re.total_wire_um(), layout.routing.stats.total_wire_um());
+
+  // Every route is a single connected component touching all its terminals
+  // (checked on a sample of nets to bound runtime).
+  const auto& grid = layout.routing.grid;
+  for (std::size_t ti = 0; ti < layout.tasks.size(); ti += 7) {
+    const auto& task = layout.tasks[ti];
+    const auto& r = layout.routing.routes[ti];
+    std::set<std::size_t> nodes;
+    std::map<std::size_t, std::vector<std::size_t>> adj;
+    for (const auto& seg : r.segments) {
+      GridPoint cur = seg.a;
+      while (!(cur == seg.b)) {
+        GridPoint nxt = cur;
+        if (cur.x != seg.b.x) nxt.x += (seg.b.x > cur.x) ? 1 : -1;
+        else if (cur.y != seg.b.y) nxt.y += (seg.b.y > cur.y) ? 1 : -1;
+        else nxt.layer += (seg.b.layer > cur.layer) ? 1 : -1;
+        const auto ia = grid.index(cur), ib = grid.index(nxt);
+        nodes.insert(ia);
+        nodes.insert(ib);
+        adj[ia].push_back(ib);
+        adj[ib].push_back(ia);
+        cur = nxt;
+      }
+    }
+    if (nodes.empty()) continue;  // single-gcell net
+    std::set<std::size_t> seen{*nodes.begin()};
+    std::vector<std::size_t> stack{*nodes.begin()};
+    while (!stack.empty()) {
+      const auto n = stack.back();
+      stack.pop_back();
+      for (const auto m : adj[n])
+        if (seen.insert(m).second) stack.push_back(m);
+    }
+    ASSERT_EQ(seen.size(), nodes.size()) << "disconnected route, task " << ti;
+    for (const auto& term : task.terminals) {
+      const GridPoint pin = grid.snap(term.pos, term.layer);
+      ASSERT_TRUE(seen.count(grid.index(pin)) || nodes.count(grid.index(pin)))
+          << "terminal unreached, task " << ti;
+    }
+  }
+
+  // Determinism of the whole flow.
+  const auto again = core::layout_original(nl, flow);
+  EXPECT_DOUBLE_EQ(again.routing.stats.total_wire_um(),
+                   layout.routing.stats.total_wire_um());
+  EXPECT_EQ(again.routing.stats.total_vias(),
+            layout.routing.stats.total_vias());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RouterProperties,
+                         ::testing::Values(RouteCase{"c432", 1},
+                                           RouteCase{"c880", 2},
+                                           RouteCase{"c1355", 3},
+                                           RouteCase{"c1908", 1},
+                                           RouteCase{"c2670", 2},
+                                           RouteCase{"c3540", 1}),
+                         route_case_name);
+
+}  // namespace

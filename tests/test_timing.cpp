@@ -1,0 +1,177 @@
+// STA and power model tests: arrival-time monotonicity, load dependence,
+// parasitic extraction from routes, PPA report consistency.
+#include "core/protect.hpp"
+#include "sim/simulator.hpp"
+#include "timing/sta.hpp"
+#include "workloads/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sm;
+using netlist::CellId;
+using netlist::CellLibrary;
+using netlist::NetId;
+using netlist::Netlist;
+using timing::NetParasitics;
+using timing::Sta;
+
+class TimingTest : public ::testing::Test {
+ protected:
+  CellLibrary lib;
+};
+
+// Two-inverter chain with controllable wire parasitics.
+struct Chain {
+  Netlist nl;
+  NetId in_net, mid_net, out_net;
+  explicit Chain(const CellLibrary& lib) : nl(lib, "chain") {
+    in_net = nl.add_primary_input("a");
+    const CellId g1 = nl.add_cell("g1", lib.id_of("INV_X1"));
+    nl.connect_input(g1, 0, in_net);
+    mid_net = nl.cell(g1).output;
+    const CellId g2 = nl.add_cell("g2", lib.id_of("INV_X1"));
+    nl.connect_input(g2, 0, mid_net);
+    out_net = nl.cell(g2).output;
+    nl.add_primary_output("y", out_net);
+  }
+};
+
+TEST_F(TimingTest, ArrivalAccumulatesAlongPath) {
+  Chain c(lib);
+  std::vector<NetParasitics> par(c.nl.num_nets());
+  Sta sta;
+  const auto arrival = sta.arrival_times(c.nl, par);
+  EXPECT_GT(arrival[c.mid_net], 0.0);
+  EXPECT_GT(arrival[c.out_net], arrival[c.mid_net]);
+  EXPECT_DOUBLE_EQ(arrival[c.in_net], 0.0);  // PI launches at t=0
+}
+
+TEST_F(TimingTest, WireResistanceAddsDelay) {
+  Chain c(lib);
+  std::vector<NetParasitics> clean(c.nl.num_nets());
+  std::vector<NetParasitics> loaded(c.nl.num_nets());
+  loaded[c.mid_net].cap_ff = 50.0;
+  loaded[c.mid_net].res_kohm = 2.0;
+  Sta sta;
+  const double d_clean = sta.critical_path_ps(c.nl, clean);
+  const double d_loaded = sta.critical_path_ps(c.nl, loaded);
+  EXPECT_GT(d_loaded, d_clean + 50.0);  // RC on the middle net must show up
+}
+
+TEST_F(TimingTest, StrongerDriverIsFaster) {
+  auto delay_with = [&](const char* buf) {
+    Netlist nl(lib, "d");
+    const NetId a = nl.add_primary_input("a");
+    const CellId g = nl.add_cell("g", lib.id_of(buf));
+    nl.connect_input(g, 0, a);
+    // Heavy fanout load.
+    for (int i = 0; i < 6; ++i) {
+      const CellId s = nl.add_cell("s" + std::to_string(i), lib.id_of("INV_X1"));
+      nl.connect_input(s, 0, nl.cell(g).output);
+      nl.add_primary_output("y" + std::to_string(i), nl.cell(s).output);
+    }
+    std::vector<NetParasitics> par(nl.num_nets());
+    return Sta().critical_path_ps(nl, par);
+  };
+  EXPECT_LT(delay_with("BUF_X8"), delay_with("BUF_X1"));
+}
+
+TEST_F(TimingTest, NetExtraAddsDelayAndPower) {
+  Chain c(lib);
+  std::vector<NetParasitics> par(c.nl.num_nets());
+  std::vector<timing::NetExtra> extra(c.nl.num_nets());
+  extra[c.mid_net].delay_ps = 100.0;
+  Sta sta;
+  const double base = sta.critical_path_ps(c.nl, par);
+  const double with = sta.critical_path_ps(c.nl, par, extra);
+  EXPECT_NEAR(with - base, 100.0, 1e-9);
+}
+
+TEST_F(TimingTest, SequentialPathsCutAtDff) {
+  // in -> INV -> DFF -> INV -> out: the critical path is the max of the two
+  // half-paths, not their sum.
+  Netlist nl(lib, "seq");
+  const NetId a = nl.add_primary_input("a");
+  const CellId i1 = nl.add_cell("i1", lib.id_of("INV_X1"));
+  nl.connect_input(i1, 0, a);
+  const CellId ff = nl.add_cell("ff", lib.dff());
+  nl.connect_input(ff, 0, nl.cell(i1).output);
+  const CellId i2 = nl.add_cell("i2", lib.id_of("INV_X1"));
+  nl.connect_input(i2, 0, nl.cell(ff).output);
+  nl.add_primary_output("y", nl.cell(i2).output);
+
+  Netlist comb(lib, "comb");  // same depth without the DFF
+  const NetId b = comb.add_primary_input("a");
+  const CellId j1 = comb.add_cell("i1", lib.id_of("INV_X1"));
+  comb.connect_input(j1, 0, b);
+  const CellId j2 = comb.add_cell("i2", lib.id_of("INV_X1"));
+  comb.connect_input(j2, 0, comb.cell(j1).output);
+  comb.add_primary_output("y", comb.cell(j2).output);
+
+  std::vector<NetParasitics> p1(nl.num_nets()), p2(comb.num_nets());
+  Sta sta;
+  EXPECT_LT(sta.critical_path_ps(nl, p1), sta.critical_path_ps(comb, p2));
+}
+
+TEST_F(TimingTest, ExtractParasiticsFromRoutes) {
+  const auto nl = workloads::generate(lib, workloads::iscas85_profile("c432"), 1);
+  core::FlowOptions flow;
+  flow.placer.target_utilization = 0.45;
+  const auto layout = core::layout_original(nl, flow);
+  const auto par = timing::extract_parasitics(nl, layout.routing);
+  ASSERT_EQ(par.size(), nl.num_nets());
+  double total_cap = 0;
+  for (const auto& p : par) {
+    EXPECT_GE(p.cap_ff, 0.0);
+    EXPECT_GE(p.res_kohm, 0.0);
+    total_cap += p.cap_ff;
+  }
+  EXPECT_GT(total_cap, 0.0);
+  // Longer wires must mean more capacitance: compare against the HPWL
+  // estimate, which should correlate (same ballpark, not orders off).
+  const auto est = timing::estimate_parasitics(nl, layout.placement);
+  double est_cap = 0;
+  for (const auto& p : est) est_cap += p.cap_ff;
+  EXPECT_GT(total_cap, est_cap * 0.5);
+  EXPECT_LT(total_cap, est_cap * 8.0);
+}
+
+TEST_F(TimingTest, PpaReportConsistency) {
+  const auto nl = workloads::generate(lib, workloads::iscas85_profile("c880"), 2);
+  core::FlowOptions flow;
+  flow.placer.target_utilization = 0.45;
+  const auto layout = core::layout_original(nl, flow);
+  const auto& rep = layout.ppa;
+  EXPECT_GT(rep.critical_path_ps, 0.0);
+  EXPECT_GT(rep.dynamic_power_uw, 0.0);
+  EXPECT_GT(rep.leakage_power_uw, 0.0);
+  EXPECT_DOUBLE_EQ(rep.total_power_uw(),
+                   rep.dynamic_power_uw + rep.leakage_power_uw);
+  EXPECT_DOUBLE_EQ(rep.die_area_um2, layout.placement.floorplan.die.area());
+  EXPECT_DOUBLE_EQ(rep.wirelength_um, layout.routing.stats.total_wire_um());
+}
+
+TEST_F(TimingTest, ActivityScalesDynamicPower) {
+  const auto nl = workloads::generate(lib, workloads::iscas85_profile("c432"), 3);
+  core::FlowOptions flow;
+  flow.placer.target_utilization = 0.45;
+  const auto layout = core::layout_original(nl, flow);
+  Sta sta;
+  const std::vector<double> quiet(nl.num_nets(), 0.01);
+  const std::vector<double> busy(nl.num_nets(), 0.4);
+  const auto rep_quiet =
+      sta.analyze(nl, layout.placement, layout.routing, quiet);
+  const auto rep_busy = sta.analyze(nl, layout.placement, layout.routing, busy);
+  EXPECT_GT(rep_busy.dynamic_power_uw, rep_quiet.dynamic_power_uw * 10);
+  EXPECT_DOUBLE_EQ(rep_busy.leakage_power_uw, rep_quiet.leakage_power_uw);
+}
+
+TEST_F(TimingTest, RejectsMismatchedParasitics) {
+  Chain c(lib);
+  std::vector<NetParasitics> wrong(c.nl.num_nets() + 3);
+  EXPECT_THROW(Sta().arrival_times(c.nl, wrong), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Verilog writer/reader round-trip tests.
+#include "netlist/netlist.hpp"
+#include "netlist/topo.hpp"
+#include "netlist/verilog.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sm::netlist;
+
+TEST(Verilog, PinNaming) {
+  EXPECT_EQ(input_pin_name(0), "A");
+  EXPECT_EQ(input_pin_name(2), "C");
+  EXPECT_EQ(input_pin_index("A"), 0);
+  EXPECT_EQ(input_pin_index("D"), 3);
+  EXPECT_EQ(input_pin_index("Y"), -1);
+  EXPECT_EQ(input_pin_index("AB"), -1);
+}
+
+TEST(Verilog, WriteContainsStructure) {
+  CellLibrary lib;
+  Netlist nl(lib, "t");
+  const NetId a = nl.add_primary_input("a");
+  const CellId g = nl.add_cell("u1", lib.id_of("INV_X1"));
+  nl.connect_input(g, 0, a);
+  nl.add_primary_output("y", nl.cell(g).output);
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("module t"), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("output y;"), std::string::npos);
+  EXPECT_NE(v.find("INV_X1 u1"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, RoundTripPreservesFunction) {
+  CellLibrary lib;
+  sm::workloads::GenSpec spec;
+  spec.name = "rt";
+  spec.num_pi = 12;
+  spec.num_po = 6;
+  spec.num_gates = 150;
+  const Netlist nl = sm::workloads::generate(lib, spec, 99);
+
+  const Netlist back = read_verilog_string(lib, to_verilog(nl));
+  EXPECT_EQ(back.num_gates(), nl.num_gates());
+  EXPECT_EQ(back.primary_inputs().size(), nl.primary_inputs().size());
+  EXPECT_EQ(back.primary_outputs().size(), nl.primary_outputs().size());
+  EXPECT_TRUE(sm::sim::equivalent(nl, back, 4096, 1));
+}
+
+TEST(Verilog, RoundTripSequential) {
+  CellLibrary lib;
+  sm::workloads::GenSpec spec;
+  spec.name = "rtseq";
+  spec.num_pi = 10;
+  spec.num_po = 5;
+  spec.num_gates = 120;
+  spec.dff_fraction = 0.2;
+  const Netlist nl = sm::workloads::generate(lib, spec, 7);
+  const Netlist back = read_verilog_string(lib, to_verilog(nl));
+  EXPECT_TRUE(sm::sim::equivalent(nl, back, 2048, 2));
+}
+
+TEST(Verilog, RejectsUnknownCell) {
+  CellLibrary lib;
+  const std::string bad =
+      "module m (a, y);\n input a;\n output y;\n"
+      " MYSTERY_X1 u1 (.A(a), .Y(y));\nendmodule\n";
+  EXPECT_THROW(read_verilog_string(lib, bad), std::runtime_error);
+}
+
+TEST(Verilog, RejectsUndrivenNet) {
+  CellLibrary lib;
+  const std::string bad =
+      "module m (a, y);\n input a;\n output y;\n wire w;\n"
+      " INV_X1 u1 (.A(w), .Y(y));\nendmodule\n";
+  EXPECT_THROW(read_verilog_string(lib, bad), std::runtime_error);
+}
+
+TEST(Verilog, ParsesCommentsAndWhitespace) {
+  CellLibrary lib;
+  const std::string src =
+      "// header comment\nmodule m (a, y);\n"
+      "  input a; // the input\n  output y;\n"
+      "  INV_X1 u1 (.A(a), .Y(y));\nendmodule\n";
+  const Netlist nl = read_verilog_string(lib, src);
+  EXPECT_EQ(nl.num_gates(), 1u);
+}
+
+}  // namespace
