@@ -1,0 +1,23 @@
+# Locate GoogleTest: prefer the system install (the CI images and the
+# reference container bake one in); fall back to FetchContent only when no
+# system copy exists, so fully offline builds keep working.
+include_guard(GLOBAL)
+
+find_package(GTest QUIET)
+if(NOT GTest_FOUND)
+  message(STATUS "System GTest not found; fetching googletest v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  )
+  # Never install googletest alongside the project, and keep gtest's own
+  # warnings out of our -Werror net.
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endif()

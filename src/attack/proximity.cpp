@@ -149,6 +149,11 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
   };
   std::vector<int> drv_capacity(nd, static_cast<int>(ns));
   if (opts.use_load) {
+    // Average open-sink-fragment load translates budget into a count.
+    double avg_frag_cap = 0.0;
+    for (const auto fi : snk_frag_ids)
+      avg_frag_cap += sink_caps(view.fragments[fi]);
+    avg_frag_cap = ns > 0 ? avg_frag_cap / static_cast<double>(ns) : 1.0;
     for (std::size_t di = 0; di < nd; ++di) {
       const Fragment& f = view.fragments[drv_frag_ids[di]];
       const auto& t = feol.type_of(feol.net(f.net).driver);
@@ -157,8 +162,7 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
       for (const auto& s : feol.net(f.net).sinks)
         if (!open_pins.count({s.cell, s.pin}))
           budget -= feol.type_of(s.cell).input_cap_ff;
-      // Average open-sink-fragment load translates budget into a count.
-      drv_capacity[di] = std::max(1, static_cast<int>(budget / 2.0));
+      drv_capacity[di] = std::max(1, static_cast<int>(budget / avg_frag_cap));
     }
   }
 

@@ -1,0 +1,81 @@
+#include "cli/flow_common.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace sm::cli {
+
+FlowSetup parse_setup(const util::Args& args) {
+  FlowSetup s;
+  s.bench = args.get("bench", s.bench);
+  s.scale = args.get_double("scale", s.scale);
+  s.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  s.split_layer = static_cast<int>(args.get_int("split-layer", s.split_layer));
+  s.patterns = static_cast<std::size_t>(
+      args.get_int("patterns", static_cast<std::int64_t>(s.patterns)));
+  s.target_oer = args.get_double("target-oer", s.target_oer);
+
+  const auto& sb = workloads::superblue_names();
+  s.superblue = std::find(sb.begin(), sb.end(), s.bench) != sb.end();
+  s.spec = s.superblue ? workloads::superblue_profile(s.bench, s.scale)
+                       : workloads::iscas85_profile(s.bench);
+
+  // Same flow tuning the benches use (bench/common.hpp): M6 pins for ISCAS,
+  // M8 for superblue, utilization derated for a congestion-free router.
+  s.flow.seed = s.seed;
+  s.flow.router.passes = 3;
+  s.flow.placer.seed = s.seed;
+  if (s.superblue) {
+    s.flow.lift_layer = 8;
+    s.flow.placer.target_utilization = s.spec.utilization * 0.5;
+    s.flow.placer.detailed_passes = 1;
+  } else {
+    s.flow.lift_layer = 6;
+    s.flow.placer.target_utilization = 0.45;
+    s.flow.placer.detailed_passes = 2;
+  }
+  s.flow.lift_layer =
+      static_cast<int>(args.get_int("lift-layer", s.flow.lift_layer));
+  s.flow.buffering = args.get_bool("buffering", false);
+
+  s.rand_opts.seed = s.seed;
+  s.rand_opts.target_oer = s.target_oer;
+  s.rand_opts.check_patterns = 4096;
+  return s;
+}
+
+netlist::Netlist make_netlist(const netlist::CellLibrary& lib,
+                              const FlowSetup& setup) {
+  return workloads::generate(lib, setup.spec, setup.seed);
+}
+
+core::ProtectedDesign run_protect(const netlist::Netlist& nl,
+                                  const FlowSetup& setup) {
+  return core::protect(nl, setup.rand_opts, setup.flow);
+}
+
+core::SplitView run_split(const netlist::Netlist& physical,
+                          const core::LayoutResult& layout,
+                          const FlowSetup& setup) {
+  return core::split_layout(physical, layout.placement, layout.routing,
+                            layout.tasks, layout.num_net_tasks,
+                            setup.split_layer);
+}
+
+bool write_output(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::cout << text;
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream os(path);
+  os << text;
+  if (!os) {
+    std::cerr << "sm_flow: cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sm::cli

@@ -1,0 +1,52 @@
+// Shared plumbing of the sm_flow subcommands: benchmark selection, flow
+// option parsing, and the protect-run cache each stage builds on. The whole
+// pipeline is deterministic in (bench, scale, seed), so subcommands simply
+// recompute the stages they need instead of serializing intermediate state.
+#pragma once
+
+#include "core/protect.hpp"
+#include "core/split.hpp"
+#include "netlist/netlist.hpp"
+#include "util/args.hpp"
+#include "workloads/generator.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace sm::cli {
+
+/// Options every subcommand understands (parsed from util::Args).
+struct FlowSetup {
+  std::string bench = "c880";
+  bool superblue = false;     ///< bench is a superblue profile
+  double scale = 0.02;        ///< superblue clone scale
+  std::uint64_t seed = 1;
+  int split_layer = 4;
+  std::size_t patterns = 100000;  ///< simulation patterns for OER/HD
+  double target_oer = 0.995;
+  workloads::GenSpec spec;
+  core::FlowOptions flow;
+  core::RandomizeOptions rand_opts;
+};
+
+/// Parse the common options and resolve the benchmark profile. Throws
+/// std::invalid_argument for unknown benchmark names.
+FlowSetup parse_setup(const util::Args& args);
+
+/// Generate the benchmark netlist for a setup.
+netlist::Netlist make_netlist(const netlist::CellLibrary& lib,
+                              const FlowSetup& setup);
+
+/// Run the paper's protection flow for a setup.
+core::ProtectedDesign run_protect(const netlist::Netlist& nl,
+                                  const FlowSetup& setup);
+
+/// FEOL view of a layout after the split cut.
+core::SplitView run_split(const netlist::Netlist& physical,
+                          const core::LayoutResult& layout,
+                          const FlowSetup& setup);
+
+/// Write `text` to `path` ("-" or "" = stdout). Returns false on I/O error.
+bool write_output(const std::string& path, const std::string& text);
+
+}  // namespace sm::cli

@@ -1,0 +1,272 @@
+// sm_flow: unified driver for the paper's pipeline (Patnaik et al., DAC'18).
+//
+//   sm_flow protect  — randomize, place, embed correction cells, lift, route,
+//                      restore through the BEOL; prints swaps/OER/HD/PPA and
+//                      optionally exports the erroneous Verilog / layout DEF.
+//   sm_flow split    — cut the layout after the split layer; prints the
+//                      FEOL fragment statistics an attacker would start from
+//                      and optionally exports the FEOL-only DEF with VPINS.
+//   sm_flow attack   — run the network-flow proximity attack on the FEOL;
+//                      prints CCR / CCR-protected / OER / HD.
+//   sm_flow report   — protected vs unprotected side-by-side: security and
+//                      PPA in one table (the quickstart, tabulated).
+//   sm_flow list     — available benchmark profiles.
+//
+// Every stage is deterministic in (bench, scale, seed), so later stages
+// recompute earlier ones instead of deserializing them; use --out-* to export
+// the artifacts a real tapeout handoff would ship.
+#include "cli/flow_common.hpp"
+
+#include "attack/proximity.hpp"
+#include "core/defio.hpp"
+#include "netlist/verilog.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace sm::cli {
+namespace {
+
+int usage(std::FILE* to) {
+  std::fputs(
+      "usage: sm_flow <command> [--options]\n"
+      "\n"
+      "commands:\n"
+      "  protect   run the full protection flow and print its summary\n"
+      "            [--out-verilog=F] erroneous netlist  [--out-def=F] layout\n"
+      "  split     cut the layout, print FEOL fragment/vpin statistics\n"
+      "            [--out-def=F] FEOL-only DEF with VPINS  [--unprotected]\n"
+      "  attack    proximity attack on the FEOL; CCR/OER/HD\n"
+      "            [--unprotected] [--no-direction] [--no-load] [--no-loops]\n"
+      "            [--candidates=N]\n"
+      "  report    protected vs unprotected security + PPA table\n"
+      "  list      available benchmark profiles\n"
+      "\n"
+      "common options:\n"
+      "  --bench=NAME     ISCAS-85 or superblue profile (default c880)\n"
+      "  --scale=F        superblue clone scale (default 0.02)\n"
+      "  --seed=N         master seed (default 1)\n"
+      "  --split-layer=N  FEOL/BEOL cut after metal N (default 4)\n"
+      "  --lift-layer=N   correction-cell pin layer (default M6/M8)\n"
+      "  --patterns=N     simulation patterns for OER/HD (default 100000)\n"
+      "  --target-oer=F   randomization stop threshold (default 0.995)\n"
+      "  --buffering      enable post-placement drive-strength fixing\n",
+      to);
+  return to == stderr ? 2 : 0;
+}
+
+void print_netlist_line(const char* bench, const netlist::Netlist& nl) {
+  std::printf("%s-like netlist: %zu gates, %zu nets, %zu PIs, %zu POs\n",
+              bench, nl.num_gates(), nl.num_nets(),
+              nl.primary_inputs().size(), nl.primary_outputs().size());
+}
+
+void print_protect_summary(const core::ProtectedDesign& design) {
+  std::printf(
+      "protected: %zu swaps, erroneous-netlist OER %.1f%% / HD %.1f%%, "
+      "restoration %s\n",
+      design.ledger.entries.size(), 100 * design.oer, 100 * design.hd,
+      design.restored_ok ? "EQUIVALENT to original" : "FAILED");
+  std::printf("PPA: power %.1f uW, critical path %.0f ps, die %.0f um^2, "
+              "wirelength %.0f um\n",
+              design.layout.ppa.total_power_uw(),
+              design.layout.ppa.critical_path_ps, design.layout.ppa.die_area_um2,
+              design.layout.ppa.wirelength_um);
+}
+
+/// Output path for `--out-X=FILE`. A bare `--out-X` parses as the flag
+/// value "true" (util::Args flag syntax); route that to stdout rather than
+/// creating a file literally named "true".
+std::string out_path(const util::Args& args, const std::string& key) {
+  const std::string v = args.get(key, "-");
+  return v == "true" ? "-" : v;
+}
+
+attack::ProximityOptions attack_options(const util::Args& args,
+                                        const FlowSetup& setup) {
+  attack::ProximityOptions a;
+  a.eval_patterns = setup.patterns;
+  a.seed = setup.seed;
+  a.use_direction = !args.has("no-direction");
+  a.use_load = !args.has("no-load");
+  a.use_loops = !args.has("no-loops");
+  a.use_strength_prior = args.get_bool("strength-prior", false);
+  a.candidates_per_sink =
+      static_cast<int>(args.get_int("candidates", a.candidates_per_sink));
+  return a;
+}
+
+int cmd_protect(const util::Args& args, const FlowSetup& setup) {
+  netlist::CellLibrary lib{setup.flow.lift_layer};
+  const auto nl = make_netlist(lib, setup);
+  print_netlist_line(setup.bench.c_str(), nl);
+  const auto design = run_protect(nl, setup);
+  print_protect_summary(design);
+
+  if (args.has("out-verilog") &&
+      !write_output(out_path(args, "out-verilog"),
+                    netlist::to_verilog(design.erroneous)))
+    return 1;
+  if (args.has("out-def") &&
+      !write_output(out_path(args, "out-def"),
+                    core::to_def(design.erroneous, design.layout.placement,
+                                 design.layout.routing, design.layout.tasks)))
+    return 1;
+  return design.restored_ok ? 0 : 1;
+}
+
+int cmd_split(const util::Args& args, const FlowSetup& setup) {
+  netlist::CellLibrary lib{setup.flow.lift_layer};
+  const auto nl = make_netlist(lib, setup);
+  const bool unprotected = args.has("unprotected");
+
+  std::optional<core::ProtectedDesign> design;
+  std::optional<core::LayoutResult> original;
+  if (unprotected)
+    original = core::layout_original(nl, setup.flow);
+  else
+    design = run_protect(nl, setup);
+  const netlist::Netlist* physical =
+      unprotected ? &original->physical(nl) : &design->erroneous;
+  const core::LayoutResult* layout =
+      unprotected ? &*original : &design->layout;
+
+  const auto view = run_split(*physical, *layout, setup);
+  const auto drivers = view.open_driver_fragments();
+  const auto sinks = view.open_sink_fragments();
+  std::size_t open_pins = 0;
+  for (const auto fi : sinks) open_pins += view.fragments[fi].sinks.size();
+  std::printf("%s layout of %s, split after M%d:\n",
+              unprotected ? "unprotected" : "protected", setup.bench.c_str(),
+              setup.split_layer);
+  std::printf("  %zu FEOL fragments, %zu vpins\n", view.fragments.size(),
+              view.num_vpins());
+  std::printf("  %zu open driver fragments, %zu open sink fragments "
+              "(%zu hidden sink pins)\n",
+              drivers.size(), sinks.size(), open_pins);
+
+  if (args.has("out-def")) {
+    std::ostringstream os;
+    core::write_split_def(*physical, layout->placement, layout->routing,
+                          layout->tasks, layout->num_net_tasks,
+                          setup.split_layer, os);
+    if (!write_output(out_path(args, "out-def"), os.str())) return 1;
+  }
+  return 0;
+}
+
+int cmd_attack(const util::Args& args, const FlowSetup& setup) {
+  netlist::CellLibrary lib{setup.flow.lift_layer};
+  const auto nl = make_netlist(lib, setup);
+  const auto opts = attack_options(args, setup);
+
+  if (args.has("unprotected")) {
+    const auto original = core::layout_original(nl, setup.flow);
+    const auto& sized = original.physical(nl);
+    const auto view = run_split(sized, original, setup);
+    const auto res = attack::proximity_attack(sized, sized,
+                                              original.placement, view,
+                                              nullptr, opts);
+    std::printf("attack on unprotected %s (split M%d): CCR %.1f%%, "
+                "OER %.1f%%, HD %.1f%%  (%zu/%zu sinks correct)\n",
+                setup.bench.c_str(), setup.split_layer, 100 * res.ccr(),
+                100 * res.rates.oer, 100 * res.rates.hd, res.correct,
+                res.open_sinks);
+    return 0;
+  }
+
+  const auto design = run_protect(nl, setup);
+  const auto view = run_split(design.erroneous, design.layout, setup);
+  const auto res =
+      attack::proximity_attack(design.erroneous, design.restored,
+                               design.layout.placement, view, &design.ledger,
+                               opts);
+  std::printf("attack on protected %s (split M%d): CCR %.1f%%, "
+              "CCR(randomized nets) %.1f%%, OER %.1f%%, HD %.1f%%\n",
+              setup.bench.c_str(), setup.split_layer, 100 * res.ccr(),
+              100 * res.ccr_protected(), 100 * res.rates.oer,
+              100 * res.rates.hd);
+  return 0;
+}
+
+int cmd_report(const util::Args& args, const FlowSetup& setup) {
+  netlist::CellLibrary lib{setup.flow.lift_layer};
+  const auto nl = make_netlist(lib, setup);
+  print_netlist_line(setup.bench.c_str(), nl);
+  const auto opts = attack_options(args, setup);
+
+  const auto original = core::layout_original(nl, setup.flow);
+  const auto design = run_protect(nl, setup);
+
+  const auto& sized = original.physical(nl);
+  const auto v0 = run_split(sized, original, setup);
+  const auto r0 = attack::proximity_attack(sized, sized, original.placement,
+                                           v0, nullptr, opts);
+  const auto vp = run_split(design.erroneous, design.layout, setup);
+  const auto rp =
+      attack::proximity_attack(design.erroneous, design.restored,
+                               design.layout.placement, vp, &design.ledger,
+                               opts);
+
+  std::printf("protection: %zu swaps, restoration %s\n",
+              design.ledger.entries.size(),
+              design.restored_ok ? "EQUIVALENT" : "FAILED");
+  util::Table table({"Layout", "CCR", "OER", "HD", "Power uW", "Delay ps",
+                     "Wirelength um"});
+  table.add_row({"original", util::Table::pct(100 * r0.ccr(), 1),
+                 util::Table::pct(100 * r0.rates.oer, 1),
+                 util::Table::pct(100 * r0.rates.hd, 1),
+                 util::Table::num(original.ppa.total_power_uw(), 1),
+                 util::Table::num(original.ppa.critical_path_ps, 0),
+                 util::Table::num(original.ppa.wirelength_um, 0)});
+  table.add_row({"proposed", util::Table::pct(100 * rp.ccr_protected(), 1),
+                 util::Table::pct(100 * rp.rates.oer, 1),
+                 util::Table::pct(100 * rp.rates.hd, 1),
+                 util::Table::num(design.layout.ppa.total_power_uw(), 1),
+                 util::Table::num(design.layout.ppa.critical_path_ps, 0),
+                 util::Table::num(design.layout.ppa.wirelength_um, 0)});
+  std::fputs(table.render().c_str(), stdout);
+  return design.restored_ok ? 0 : 1;
+}
+
+int cmd_list() {
+  std::printf("ISCAS-85 profiles:\n ");
+  for (const auto& n : workloads::iscas85_names()) std::printf(" %s", n.c_str());
+  std::printf("\nsuperblue profiles (use with --scale):\n ");
+  for (const auto& n : workloads::superblue_names())
+    std::printf(" %s", n.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(stdout);
+  if (cmd == "list") return cmd_list();
+
+  const util::Args args(argc - 1, argv + 1);
+  const FlowSetup setup = parse_setup(args);
+  if (cmd == "protect") return cmd_protect(args, setup);
+  if (cmd == "split") return cmd_split(args, setup);
+  if (cmd == "attack") return cmd_attack(args, setup);
+  if (cmd == "report") return cmd_report(args, setup);
+  std::fprintf(stderr, "sm_flow: unknown command '%s'\n", cmd.c_str());
+  return usage(stderr);
+}
+
+}  // namespace
+}  // namespace sm::cli
+
+int main(int argc, char** argv) {
+  try {
+    return sm::cli::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sm_flow: %s\n", e.what());
+    return 1;
+  }
+}

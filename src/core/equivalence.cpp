@@ -11,6 +11,13 @@
 #include <map>
 #include <stdexcept>
 
+// The miter construction leans on C++20 <bit> (std::popcount /
+// std::countr_zero); without this guard a -std=c++17 build dies deep inside
+// the function bodies with inscrutable lookup errors.
+#if !defined(__cpp_lib_bitops) || __cpp_lib_bitops < 201907L
+#error "sm requires C++20 <bit> (std::popcount/std::countr_zero); build with -std=c++20 or newer"
+#endif
+
 namespace sm::core {
 
 using netlist::CellId;

@@ -5,6 +5,13 @@
 #include <bit>
 #include <stdexcept>
 
+// Word-parallel simulation leans on C++20 <bit> (std::popcount); without
+// this guard a -std=c++17 build dies deep inside the evaluation loop with
+// inscrutable lookup errors.
+#if !defined(__cpp_lib_bitops) || __cpp_lib_bitops < 201907L
+#error "sm requires C++20 <bit> (std::popcount/std::countr_zero); build with -std=c++20 or newer"
+#endif
+
 namespace sm::sim {
 
 using netlist::Cell;

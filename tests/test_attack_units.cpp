@@ -171,6 +171,66 @@ TEST(AttackUnits, LoopAvoidanceRefusesCycle) {
   EXPECT_GT(res.rates.patterns, 0u);  // recovered netlist was simulable
 }
 
+TEST(AttackUnits, LoadBudgetTracksSinkCapacitance) {
+  // Hint (iii) regression: the driver's load budget (fF) must translate into
+  // a fanout count via the *measured* open-sink-fragment capacitance, not a
+  // hard-coded average. Two runs with identical geometry, differing only in
+  // the sink cells' input capacitance: both sinks sit next to driver 1, but
+  // the true wiring is a->g1, b->g2.
+  //   budget = 50 fF-kOhm / 5 kOhm (pad) = 10 fF.
+  //   BUF_X8 sinks (8.0 fF): capacity 1 -> the flow must hand g2 to its
+  //     true (distant) driver, recovering both connections.
+  //   INV_X1 sinks (1.6 fF): capacity 6 -> driver 1 swallows both sinks and
+  //     only g1 is recovered.
+  // A capacity indifferent to sink capacitance cannot produce both outcomes.
+  auto correct_with_sinks = [](const char* sink_type) {
+    CellLibrary lib;
+    Netlist nl(lib, "loadrig");
+    const NetId a = nl.add_primary_input("a");
+    const NetId b = nl.add_primary_input("b");
+    const CellId g1 = nl.add_cell("g1", lib.id_of(sink_type));
+    const CellId g2 = nl.add_cell("g2", lib.id_of(sink_type));
+    nl.connect_input(g1, 0, a);
+    nl.connect_input(g2, 0, b);
+    nl.add_primary_output("y1", nl.cell(g1).output);
+    nl.add_primary_output("y2", nl.cell(g2).output);
+    place::Placement pl;
+    pl.floorplan.die = {{0, 0}, {100, 100}};
+    pl.pos.assign(nl.num_cells(), {50, 50});
+
+    SplitView view;
+    view.split_layer = 3;
+    auto drv = [&](NetId n, double x) {
+      Fragment f;
+      f.net = n;
+      f.has_driver = true;
+      f.anchor = {x, 10};
+      f.vpins = {vpin(x, 10)};
+      return f;
+    };
+    auto snk = [&](CellId c, NetId n, double x) {
+      Fragment f;
+      f.net = n;
+      f.sinks = {{c, 0}};
+      f.anchor = {x, 10};
+      f.vpins = {vpin(x, 10)};
+      return f;
+    };
+    view.fragments = {drv(a, 10), drv(b, 90), snk(g1, a, 12), snk(g2, b, 14)};
+
+    attack::ProximityOptions opts;
+    opts.eval_patterns = 64;
+    opts.use_load = true;
+    opts.load_budget_ff_per_ks = 50.0;
+    const auto res =
+        attack::proximity_attack(nl, nl, pl, view, nullptr, opts);
+    EXPECT_EQ(res.open_sinks, 2u);
+    return res.correct;
+  };
+  EXPECT_EQ(correct_with_sinks("BUF_X8"), 2u);
+  EXPECT_EQ(correct_with_sinks("INV_X1"), 1u);
+}
+
 TEST(AttackUnits, EmptyViewIsPerfectScore) {
   Rig rig;
   SplitView empty;

@@ -63,8 +63,11 @@ TEST(RouterEdge, MinLayerNineUsesTopPair) {
   route::Router router;
   const auto res = router.route({t}, Rect{{0, 0}, {56, 56}}, stack);
   ASSERT_TRUE(res.routes[0].success);
-  for (const auto& seg : res.routes[0].segments)
-    if (!seg.is_via()) EXPECT_GE(seg.a.layer, 9);
+  for (const auto& seg : res.routes[0].segments) {
+    if (!seg.is_via()) {
+      EXPECT_GE(seg.a.layer, 9);
+    }
+  }
 }
 
 TEST(RouterEdge, MinLayerTopOnlyFailsGracefully) {

@@ -87,10 +87,12 @@ TEST_P(ProtectProperties, EndToEndInvariants) {
   for (std::size_t ti = 0; ti < design.layout.num_net_tasks; ++ti) {
     const auto& route = design.layout.routing.routes[ti];
     if (route.net == netlist::kInvalidNet || !is_protected[route.net]) continue;
-    for (const auto& seg : route.segments)
-      if (!seg.is_via())
+    for (const auto& seg : route.segments) {
+      if (!seg.is_via()) {
         ASSERT_GE(seg.a.layer, 6)
             << "lateral wire below lift layer on net " << route.net;
+      }
+    }
   }
 
   // P5: zero area overhead.
