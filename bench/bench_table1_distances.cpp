@@ -15,9 +15,16 @@ int main(int argc, char** argv) {
   const auto suite = bench::parse_suite(argc, argv);
   bench::print_header("Table 1: distances between connected gates (um)");
 
-  util::Table table({"Benchmark", "Layout", "Mean", "Median", "Std. Dev."});
-  for (const auto& name : bench::pick(workloads::superblue_names(), suite)) {
-    const auto spec = workloads::superblue_profile(name, suite.scale);
+  const auto names = bench::pick(workloads::superblue_names(), suite);
+  // One distance summary per layout flavour, computed into the benchmark's
+  // own slot so --jobs=N renders the same table as --jobs=1.
+  struct PerBench {
+    util::Summary original, lifted, proposed;
+  };
+  std::vector<PerBench> results(names.size());
+
+  bench::for_each_benchmark(names, suite, [&](std::size_t i) {
+    const auto spec = workloads::superblue_profile(names[i], suite.scale);
     netlist::CellLibrary lib{8};
     const auto nl = workloads::generate(lib, spec, suite.seed);
     const auto flow = bench::superblue_flow(suite.seed, spec);
@@ -29,17 +36,25 @@ int main(int argc, char** argv) {
     const auto original = core::layout_original(nl, flow);
     const auto lifted = core::layout_naive_lift(nl, nets, flow);
 
-    auto row = [&](const char* layout, const place::Placement& pl) {
-      const auto d = metrics::connection_distances(nl, pl, nets);
-      const auto s = util::summarize(d);
-      table.add_row({name, layout, util::Table::num(s.mean, 2),
+    auto dist = [&](const place::Placement& pl) {
+      return util::summarize(metrics::connection_distances(nl, pl, nets));
+    };
+    results[i].original = dist(original.placement);
+    results[i].lifted = dist(lifted.layout.placement);
+    // Proposed: true connections measured on the erroneous placement.
+    results[i].proposed = dist(design.layout.placement);
+  });
+
+  util::Table table({"Benchmark", "Layout", "Mean", "Median", "Std. Dev."});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    auto row = [&](const char* layout, const util::Summary& s) {
+      table.add_row({names[i], layout, util::Table::num(s.mean, 2),
                      util::Table::num(s.median, 2),
                      util::Table::num(s.stddev, 2)});
     };
-    row("Original", original.placement);
-    row("Lifted", lifted.layout.placement);
-    // Proposed: true connections measured on the erroneous placement.
-    row("Proposed", design.layout.placement);
+    row("Original", results[i].original);
+    row("Lifted", results[i].lifted);
+    row("Proposed", results[i].proposed);
     table.add_separator();
   }
   std::fputs(table.render().c_str(), stdout);

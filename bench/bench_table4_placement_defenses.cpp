@@ -52,63 +52,71 @@ int main(int argc, char** argv) {
       "Table 4: proximity attack vs placement-perturbation defenses "
       "(ISCAS-85, averaged over splits M3/M4/M5)");
 
-  util::Table table({"Benchmark", "Orig CCR", "Orig OER", "Orig HD",
-                     "Perturb[5] CCR", "Perturb[5] HD", "Random[8] CCR",
-                     "G-Color[8] CCR", "G-Type1[8] CCR", "G-Type2[8] CCR",
-                     "Prop CCR", "Prop OER", "Prop HD"});
-  Score avg_orig, avg_prop;
-  int count = 0;
+  const auto names = bench::pick(workloads::iscas85_names(), suite);
+  struct PerBench {
+    Score so, sp, sprop;
+    double s_rand = 0, s_col = 0, s_t1 = 0, s_t2 = 0;
+  };
+  std::vector<PerBench> results(names.size());
 
-  for (const auto& name : bench::pick(workloads::iscas85_names(), suite)) {
+  bench::for_each_benchmark(names, suite, [&](std::size_t i) {
     netlist::CellLibrary lib{6};
-    const auto nl =
-        workloads::generate(lib, workloads::iscas85_profile(name), suite.seed);
+    const auto nl = workloads::generate(
+        lib, workloads::iscas85_profile(names[i]), suite.seed);
     const auto flow = bench::iscas_flow(suite.seed);
+    PerBench& r = results[i];
 
     const auto original = core::layout_original(nl, flow);
-    const Score so =
-        attack_avg(nl, nl, original, nullptr, suite.patterns, false);
+    r.so = attack_avg(nl, nl, original, nullptr, suite.patterns, false);
 
     // [5]: selective, small perturbation (the paper reports only a marginal
     // improvement over unprotected layouts).
     const auto perturbed = core::layout_placement_perturbed(
         nl, flow, core::PerturbStrategy::Random, 0.05, suite.seed, 0.1);
-    const Score sp =
-        attack_avg(nl, nl, perturbed, nullptr, suite.patterns, false);
+    r.sp = attack_avg(nl, nl, perturbed, nullptr, suite.patterns, false);
 
     auto strategy_ccr = [&](core::PerturbStrategy st) {
       const auto lay = core::layout_placement_perturbed(nl, flow, st, 0.25,
                                                         suite.seed, 0.2);
       return attack_avg(nl, nl, lay, nullptr, suite.patterns / 4, false).ccr;
     };
-    const double s_rand = strategy_ccr(core::PerturbStrategy::Random);
-    const double s_col = strategy_ccr(core::PerturbStrategy::GColor);
-    const double s_t1 = strategy_ccr(core::PerturbStrategy::GType1);
-    const double s_t2 = strategy_ccr(core::PerturbStrategy::GType2);
+    r.s_rand = strategy_ccr(core::PerturbStrategy::Random);
+    r.s_col = strategy_ccr(core::PerturbStrategy::GColor);
+    r.s_t1 = strategy_ccr(core::PerturbStrategy::GType1);
+    r.s_t2 = strategy_ccr(core::PerturbStrategy::GType2);
 
     const auto design =
         core::protect(nl, bench::default_randomize(suite.seed), flow);
-    const Score sprop = attack_avg(design.erroneous, nl, design.layout,
-                                   &design.ledger, suite.patterns, true);
+    r.sprop = attack_avg(design.erroneous, nl, design.layout, &design.ledger,
+                         suite.patterns, true);
+  });
 
-    table.add_row({name, util::Table::pct(100 * so.ccr, 1),
-                   util::Table::pct(100 * so.oer, 1),
-                   util::Table::pct(100 * so.hd, 1),
-                   util::Table::pct(100 * sp.ccr, 1),
-                   util::Table::pct(100 * sp.hd, 1),
-                   util::Table::pct(100 * s_rand, 1),
-                   util::Table::pct(100 * s_col, 1),
-                   util::Table::pct(100 * s_t1, 1),
-                   util::Table::pct(100 * s_t2, 1),
-                   util::Table::pct(100 * sprop.ccr, 1),
-                   util::Table::pct(100 * sprop.oer, 1),
-                   util::Table::pct(100 * sprop.hd, 1)});
-    avg_orig.ccr += so.ccr;
-    avg_orig.oer += so.oer;
-    avg_orig.hd += so.hd;
-    avg_prop.ccr += sprop.ccr;
-    avg_prop.oer += sprop.oer;
-    avg_prop.hd += sprop.hd;
+  util::Table table({"Benchmark", "Orig CCR", "Orig OER", "Orig HD",
+                     "Perturb[5] CCR", "Perturb[5] HD", "Random[8] CCR",
+                     "G-Color[8] CCR", "G-Type1[8] CCR", "G-Type2[8] CCR",
+                     "Prop CCR", "Prop OER", "Prop HD"});
+  Score avg_orig, avg_prop;
+  int count = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const PerBench& r = results[i];
+    table.add_row({names[i], util::Table::pct(100 * r.so.ccr, 1),
+                   util::Table::pct(100 * r.so.oer, 1),
+                   util::Table::pct(100 * r.so.hd, 1),
+                   util::Table::pct(100 * r.sp.ccr, 1),
+                   util::Table::pct(100 * r.sp.hd, 1),
+                   util::Table::pct(100 * r.s_rand, 1),
+                   util::Table::pct(100 * r.s_col, 1),
+                   util::Table::pct(100 * r.s_t1, 1),
+                   util::Table::pct(100 * r.s_t2, 1),
+                   util::Table::pct(100 * r.sprop.ccr, 1),
+                   util::Table::pct(100 * r.sprop.oer, 1),
+                   util::Table::pct(100 * r.sprop.hd, 1)});
+    avg_orig.ccr += r.so.ccr;
+    avg_orig.oer += r.so.oer;
+    avg_orig.hd += r.so.hd;
+    avg_prop.ccr += r.sprop.ccr;
+    avg_prop.oer += r.sprop.oer;
+    avg_prop.hd += r.sprop.hd;
     ++count;
   }
   if (count > 0) {

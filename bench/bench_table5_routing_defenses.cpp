@@ -49,49 +49,56 @@ int main(int argc, char** argv) {
       "Table 5: proximity attack vs routing-perturbation defenses "
       "(ISCAS-85, averaged over splits M3/M4/M5)");
 
-  util::Table table({"Benchmark", "Orig CCR", "Orig HD", "PinSwap[3] CCR",
-                     "PinSwap[3] HD", "RoutePerturb[12] CCR",
-                     "RoutePerturb[12] OER", "RoutePerturb[12] HD", "Prop CCR",
-                     "Prop OER", "Prop HD"});
+  const auto names = bench::pick(workloads::iscas85_names(), suite);
+  struct PerBench {
+    Score so, ssw, srp, sp;
+  };
+  std::vector<PerBench> results(names.size());
 
-  for (const auto& name : bench::pick(workloads::iscas85_names(), suite)) {
+  bench::for_each_benchmark(names, suite, [&](std::size_t i) {
     netlist::CellLibrary lib{6};
-    const auto nl =
-        workloads::generate(lib, workloads::iscas85_profile(name), suite.seed);
+    const auto nl = workloads::generate(
+        lib, workloads::iscas85_profile(names[i]), suite.seed);
     const auto flow = bench::iscas_flow(suite.seed);
+    PerBench& r = results[i];
 
     const auto original = core::layout_original(nl, flow);
-    const Score so =
-        attack_avg(nl, nl, original, nullptr, suite.patterns, false);
+    r.so = attack_avg(nl, nl, original, nullptr, suite.patterns, false);
 
     // [3]: swap roughly 2% of the nets' connections.
     const std::size_t swaps =
         std::max<std::size_t>(4, nl.num_nets() / 50);
     const auto pinswap = core::layout_pin_swapped(nl, flow, swaps, suite.seed);
-    const Score ssw = attack_avg(pinswap.erroneous, nl, pinswap.layout,
-                                 &pinswap.ledger, suite.patterns, false);
+    r.ssw = attack_avg(pinswap.erroneous, nl, pinswap.layout, &pinswap.ledger,
+                       suite.patterns, false);
 
     // [12]: elevate 15% of the nets above M5.
     const auto rperturb =
         core::layout_routing_perturbed(nl, flow, 0.15, 6, suite.seed);
-    const Score srp =
-        attack_avg(nl, nl, rperturb, nullptr, suite.patterns, false);
+    r.srp = attack_avg(nl, nl, rperturb, nullptr, suite.patterns, false);
 
     const auto design =
         core::protect(nl, bench::default_randomize(suite.seed), flow);
-    const Score sp = attack_avg(design.erroneous, nl, design.layout,
-                                &design.ledger, suite.patterns, true);
+    r.sp = attack_avg(design.erroneous, nl, design.layout, &design.ledger,
+                      suite.patterns, true);
+  });
 
-    table.add_row({name, util::Table::pct(100 * so.ccr, 1),
-                   util::Table::pct(100 * so.hd, 1),
-                   util::Table::pct(100 * ssw.ccr, 1),
-                   util::Table::pct(100 * ssw.hd, 1),
-                   util::Table::pct(100 * srp.ccr, 1),
-                   util::Table::pct(100 * srp.oer, 1),
-                   util::Table::pct(100 * srp.hd, 1),
-                   util::Table::pct(100 * sp.ccr, 1),
-                   util::Table::pct(100 * sp.oer, 1),
-                   util::Table::pct(100 * sp.hd, 1)});
+  util::Table table({"Benchmark", "Orig CCR", "Orig HD", "PinSwap[3] CCR",
+                     "PinSwap[3] HD", "RoutePerturb[12] CCR",
+                     "RoutePerturb[12] OER", "RoutePerturb[12] HD", "Prop CCR",
+                     "Prop OER", "Prop HD"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const PerBench& r = results[i];
+    table.add_row({names[i], util::Table::pct(100 * r.so.ccr, 1),
+                   util::Table::pct(100 * r.so.hd, 1),
+                   util::Table::pct(100 * r.ssw.ccr, 1),
+                   util::Table::pct(100 * r.ssw.hd, 1),
+                   util::Table::pct(100 * r.srp.ccr, 1),
+                   util::Table::pct(100 * r.srp.oer, 1),
+                   util::Table::pct(100 * r.srp.hd, 1),
+                   util::Table::pct(100 * r.sp.ccr, 1),
+                   util::Table::pct(100 * r.sp.oer, 1),
+                   util::Table::pct(100 * r.sp.hd, 1)});
   }
   std::fputs(table.render().c_str(), stdout);
   return 0;

@@ -7,7 +7,12 @@
 //                   the paper uses 1,000,000 — pass --patterns=1000000 to
 //                   match, at ~10x the runtime)
 //   --quick         clip benchmark lists for smoke runs
-//   --benchmarks=a,b,c   explicit benchmark subset
+//   --benchmarks=a,b,c   explicit benchmark subset (empty entries skipped,
+//                        so a trailing comma is harmless)
+//   --jobs=<n>      worker threads for the per-benchmark loop (default 1;
+//                   0 = hardware concurrency). Results are bit-identical
+//                   for any value — benches compute into index-addressed
+//                   slots and render tables in benchmark order afterwards.
 #pragma once
 
 #include "core/baselines.hpp"
@@ -16,6 +21,7 @@
 #include "util/args.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/generator.hpp"
 
 #include <cstdio>
@@ -29,6 +35,7 @@ struct SuiteOptions {
   std::uint64_t seed = 1;
   std::size_t patterns = 100000;
   bool quick = false;
+  std::size_t jobs = 1;           ///< threads for the benchmark loop; 0 = hw
   std::vector<std::string> only;  ///< benchmark filter (empty = all)
 };
 
@@ -40,13 +47,19 @@ inline SuiteOptions parse_suite(int argc, const char* const* argv) {
   s.patterns = static_cast<std::size_t>(
       args.get_int("patterns", static_cast<std::int64_t>(s.patterns)));
   s.quick = args.get_bool("quick", false);
-  std::string list = args.get("benchmarks", "");
-  while (!list.empty()) {
-    const auto comma = list.find(',');
-    s.only.push_back(list.substr(0, comma));
-    list = comma == std::string::npos ? "" : list.substr(comma + 1);
-  }
+  s.jobs = args.get_count("jobs", 1);
+  s.only = util::split_list(args.get("benchmarks", ""));
   return s;
+}
+
+/// Run body(i) for every picked benchmark index over suite.jobs threads.
+/// body must write only into its own index's slot of a pre-sized results
+/// vector; the caller renders rows in index order after this returns, which
+/// keeps the printed tables bit-identical for any --jobs value.
+inline void for_each_benchmark(const std::vector<std::string>& names,
+                               const SuiteOptions& s,
+                               const std::function<void(std::size_t)>& body) {
+  util::parallel_for(s.jobs, names.size(), body);
 }
 
 inline std::vector<std::string> pick(const std::vector<std::string>& all,

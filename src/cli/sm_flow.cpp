@@ -10,6 +10,9 @@
 //                      prints CCR / CCR-protected / OER / HD.
 //   sm_flow report   — protected vs unprotected side-by-side: security and
 //                      PPA in one table (the quickstart, tabulated).
+//   sm_flow sweep    — parallel attack sweep over {benchmarks × seeds ×
+//                      split layers × defenses} through util::ThreadPool;
+//                      bit-identical metrics for any --jobs value.
 //   sm_flow list     — available benchmark profiles.
 //
 // Every stage is deterministic in (bench, scale, seed), so later stages
@@ -20,6 +23,7 @@
 #include "attack/proximity.hpp"
 #include "core/defio.hpp"
 #include "netlist/verilog.hpp"
+#include "sweep/sweep.hpp"
 #include "util/table.hpp"
 
 #include <cstdio>
@@ -27,6 +31,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace sm::cli {
 namespace {
@@ -44,6 +49,13 @@ int usage(std::FILE* to) {
       "            [--unprotected] [--no-direction] [--no-load] [--no-loops]\n"
       "            [--candidates=N]\n"
       "  report    protected vs unprotected security + PPA table\n"
+      "  sweep     parallel attack sweep over {benchmarks x seeds x split\n"
+      "            layers x defenses}; metrics are bit-identical for any\n"
+      "            --jobs value\n"
+      "            [--jobs=N] [--grid=SPEC] [--benchmarks=a,b] [--seeds=1,2]\n"
+      "            [--splits=3,4,5] [--defenses=unprotected,proposed]\n"
+      "            [--quick] [--csv=F] [--json=F] [--summary-only]\n"
+      "            (--bench/--seed/--split-layer alias the grid dimensions)\n"
       "  list      available benchmark profiles\n"
       "\n"
       "common options:\n"
@@ -233,6 +245,62 @@ int cmd_report(const util::Args& args, const FlowSetup& setup) {
   return design.restored_ok ? 0 : 1;
 }
 
+/// sm_flow sweep: expand the grid from --grid/--benchmarks/--seeds/--splits/
+/// --defenses (individual flags override the --grid spec), run it over
+/// --jobs threads, print the per-cell and summary tables, and export CSV/
+/// JSON on request. --quick clips the default grid for smoke runs.
+int cmd_sweep(const util::Args& args) {
+  sweep::Grid grid =
+      args.has("grid") ? sweep::Grid::parse(args.get("grid", "")) : sweep::Grid{};
+  // Same validated parsing as the --grid spec (sweep::Grid::set), so
+  // malformed values fail loudly instead of being silently truncated. The
+  // singular forms every other subcommand takes (--bench/--seed/
+  // --split-layer) alias their plural grid dimension — muscle memory from
+  // `sm_flow attack` must not be silently dropped.
+  const std::pair<const char*, const char*> kGridFlags[] = {
+      {"benchmarks", "benchmarks"}, {"bench", "benchmarks"},
+      {"seeds", "seeds"},           {"seed", "seeds"},
+      {"splits", "splits"},         {"split-layer", "splits"},
+      {"defenses", "defenses"},
+  };
+  for (const auto& [flag, key] : kGridFlags)
+    if (args.has(flag)) grid.set(key, args.get(flag, ""));
+  if (args.has("scale")) grid.set("scale", args.get("scale", ""));
+
+  const bool quick = args.get_bool("quick", false);
+  if (grid.benchmarks.empty())
+    grid.benchmarks = quick ? std::vector<std::string>{"c432", "c880"}
+                            : workloads::iscas85_names();
+  if (quick && !args.has("grid") && !args.has("splits") &&
+      !args.has("split-layer"))
+    grid.split_layers = {4};
+
+  sweep::Options opts;
+  opts.jobs = args.get_count("jobs", 1);
+  opts.patterns = args.get_count("patterns", quick ? 2000 : 100000);
+
+  std::printf("sweep: %zu cells (%zu benchmarks x %zu seeds x %zu splits x "
+              "%zu defenses), --jobs=%zu\n",
+              grid.combinations(), grid.benchmarks.size(), grid.seeds.size(),
+              grid.split_layers.size(), grid.defenses.size(), opts.jobs);
+
+  const auto result = sweep::run(grid, opts);
+  if (!args.has("summary-only"))
+    std::fputs(result.table().render().c_str(), stdout);
+  std::printf("\nmean over seeds and split layers:\n");
+  std::fputs(result.summary().render().c_str(), stdout);
+  std::printf("\nsweep wall time: %.0f ms (%zu cells, %zu worker threads)\n",
+              result.wall_ms, result.rows.size(), result.jobs);
+
+  if (args.has("csv") &&
+      !write_output(out_path(args, "csv"), result.to_csv()))
+    return 1;
+  if (args.has("json") &&
+      !write_output(out_path(args, "json"), result.to_json()))
+    return 1;
+  return 0;
+}
+
 int cmd_list() {
   std::printf("ISCAS-85 profiles:\n ");
   for (const auto& n : workloads::iscas85_names()) std::printf(" %s", n.c_str());
@@ -250,6 +318,9 @@ int run(int argc, char** argv) {
   if (cmd == "list") return cmd_list();
 
   const util::Args args(argc - 1, argv + 1);
+  // sweep carries its own grid of benchmarks/seeds/splits; the single-run
+  // FlowSetup does not apply.
+  if (cmd == "sweep") return cmd_sweep(args);
   const FlowSetup setup = parse_setup(args);
   if (cmd == "protect") return cmd_protect(args, setup);
   if (cmd == "split") return cmd_split(args, setup);

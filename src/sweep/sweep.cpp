@@ -1,0 +1,322 @@
+#include "sweep/sweep.hpp"
+
+#include "attack/proximity.hpp"
+#include "core/baselines.hpp"
+#include "core/protect.hpp"
+#include "core/split.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/generator.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace sm::sweep {
+namespace {
+
+/// One (benchmark, seed, defense) work unit; attacked at every split layer.
+struct Task {
+  std::string benchmark;
+  std::uint64_t seed = 0;
+  Defense defense = Defense::Unprotected;
+  bool superblue = false;
+};
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+/// Same flow tuning the benches and sm_flow use: M6 correction pins for
+/// ISCAS, M8 for superblue, utilization derated so the router stays
+/// congestion-free (bench/common.hpp is the reference).
+core::FlowOptions flow_for(const Task& t, const workloads::GenSpec& spec) {
+  core::FlowOptions f;
+  f.seed = t.seed;
+  f.router.passes = 3;
+  f.placer.seed = t.seed;
+  if (t.superblue) {
+    f.lift_layer = 8;
+    f.placer.target_utilization = spec.utilization * 0.5;
+    f.placer.detailed_passes = 1;
+  } else {
+    f.lift_layer = 6;
+    f.placer.target_utilization = 0.45;
+    f.placer.detailed_passes = 2;
+  }
+  return f;
+}
+
+core::RandomizeOptions randomize_for(const Task& t) {
+  core::RandomizeOptions r;
+  r.seed = t.seed;
+  r.target_oer = 0.995;
+  r.check_patterns = 4096;
+  return r;
+}
+
+/// Run one task and fill its split-layer rows (rows[0..splits-1]).
+/// Everything written to `rows` is a function of the task's grid
+/// coordinates and `opts` alone — this is where the thread-count
+/// independence of the whole sweep is decided.
+void run_task(const Task& t, const Grid& grid, const Options& opts,
+              Row* rows) {
+  const double t0 = now_ms();
+  const auto spec = t.superblue
+                        ? workloads::superblue_profile(t.benchmark, grid.scale)
+                        : workloads::iscas85_profile(t.benchmark);
+  netlist::CellLibrary lib{t.superblue ? 8 : 6};
+  const auto nl = workloads::generate(lib, spec, t.seed);
+  const auto flow = flow_for(t, spec);
+
+  const netlist::Netlist* feol = &nl;
+  const core::LayoutResult* layout = nullptr;
+  const core::SwapLedger* ledger = nullptr;
+
+  std::optional<core::LayoutResult> original;
+  std::optional<core::ProtectedDesign> design;
+  std::size_t swaps = 0;
+  if (t.defense == Defense::Unprotected) {
+    original = core::layout_original(nl, flow);
+    feol = &original->physical(nl);
+    layout = &*original;
+  } else {
+    design = core::protect(nl, randomize_for(t), flow);
+    feol = &design->erroneous;
+    layout = &design->layout;
+    ledger = &design->ledger;
+    swaps = design->ledger.entries.size();
+  }
+
+  for (std::size_t li = 0; li < grid.split_layers.size(); ++li) {
+    const int split = grid.split_layers[li];
+    const auto view =
+        core::split_layout(*feol, layout->placement, layout->routing,
+                           layout->tasks, layout->num_net_tasks, split);
+    attack::ProximityOptions aopts;
+    aopts.eval_patterns = opts.patterns;
+    // Attack randomness depends on (grid seed, split layer) only, never on
+    // the worker thread — the sweep's determinism guarantee.
+    aopts.seed = util::task_seed(t.seed, static_cast<std::uint64_t>(split));
+    const auto res =
+        attack::proximity_attack(*feol, nl, layout->placement, view, ledger,
+                                 aopts);
+
+    Row& row = rows[li];
+    row.benchmark = t.benchmark;
+    row.seed = t.seed;
+    row.split_layer = split;
+    row.defense = t.defense;
+    row.ccr = res.ccr();
+    row.ccr_protected = res.ccr_protected();
+    row.oer = res.rates.oer;
+    row.hd = res.rates.hd;
+    row.open_sinks = res.open_sinks;
+    row.swaps = swaps;
+  }
+  const double wall = now_ms() - t0;
+  for (std::size_t li = 0; li < grid.split_layers.size(); ++li)
+    rows[li].wall_ms = wall;
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  try {
+    // stoull would silently wrap "-1" to 2^64-1; require plain digits.
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+      throw std::invalid_argument(s);
+    std::size_t used = 0;
+    const auto v = std::stoull(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("sweep: bad ") + what + " '" + s +
+                                "'");
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Defense d) {
+  return d == Defense::Unprotected ? "unprotected" : "proposed";
+}
+
+Defense defense_from_string(const std::string& name) {
+  if (name == "unprotected" || name == "original") return Defense::Unprotected;
+  if (name == "proposed" || name == "protected") return Defense::Proposed;
+  throw std::invalid_argument("sweep: unknown defense '" + name +
+                              "' (want unprotected|proposed)");
+}
+
+std::size_t Grid::combinations() const {
+  return benchmarks.size() * seeds.size() * split_layers.size() *
+         defenses.size();
+}
+
+void Grid::set(const std::string& key, const std::string& value) {
+  const auto items = util::split_list(value, ',');
+  if (key == "benchmarks") {
+    benchmarks = items;
+  } else if (key == "seeds") {
+    seeds.clear();
+    for (const auto& s : items) seeds.push_back(parse_u64(s, "seed"));
+  } else if (key == "splits" || key == "split-layers") {
+    split_layers.clear();
+    for (const auto& s : items)
+      split_layers.push_back(static_cast<int>(parse_u64(s, "split layer")));
+  } else if (key == "defenses") {
+    defenses.clear();
+    for (const auto& s : items) defenses.push_back(defense_from_string(s));
+  } else if (key == "scale") {
+    std::size_t used = 0;
+    try {
+      scale = std::stod(value, &used);
+    } catch (const std::exception&) {
+      used = std::string::npos;
+    }
+    if (used != value.size())
+      throw std::invalid_argument("sweep: bad scale '" + value + "'");
+  } else {
+    throw std::invalid_argument(
+        "sweep: unknown grid key '" + key +
+        "' (want benchmarks|seeds|splits|defenses|scale)");
+  }
+}
+
+Grid Grid::parse(const std::string& spec) {
+  Grid g;
+  for (const auto& part : util::split_list(spec, ';')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("sweep: grid entry '" + part +
+                                  "' is not key=value");
+    g.set(part.substr(0, eq), part.substr(eq + 1));
+  }
+  return g;
+}
+
+util::Table Result::table() const {
+  util::Table t({"Benchmark", "Seed", "Split", "Defense", "CCR", "CCR(rand)",
+                 "OER", "HD", "Open sinks", "Task ms"});
+  for (const auto& r : rows)
+    t.add_row({r.benchmark, std::to_string(r.seed),
+               "M" + std::to_string(r.split_layer), to_string(r.defense),
+               util::Table::pct(100 * r.ccr, 1),
+               util::Table::pct(100 * r.ccr_protected, 1),
+               util::Table::pct(100 * r.oer, 1),
+               util::Table::pct(100 * r.hd, 1),
+               util::Table::count(r.open_sinks),
+               util::Table::num(r.wall_ms, 0)});
+  return t;
+}
+
+util::Table Result::summary() const {
+  struct Acc {
+    double ccr = 0, ccr_prot = 0, oer = 0, hd = 0;
+    std::size_t n = 0;
+  };
+  // std::map keeps the summary ordering deterministic and readable
+  // (alphabetical benchmark, unprotected before proposed).
+  std::map<std::pair<std::string, int>, Acc> acc;
+  for (const auto& r : rows) {
+    auto& a = acc[{r.benchmark, static_cast<int>(r.defense)}];
+    a.ccr += r.ccr;
+    a.ccr_prot += r.ccr_protected;
+    a.oer += r.oer;
+    a.hd += r.hd;
+    ++a.n;
+  }
+  util::Table t({"Benchmark", "Defense", "CCR", "CCR(rand)", "OER", "HD",
+                 "Cells"});
+  for (const auto& [key, a] : acc) {
+    const double n = static_cast<double>(a.n);
+    t.add_row({key.first, to_string(static_cast<Defense>(key.second)),
+               util::Table::pct(100 * a.ccr / n, 1),
+               util::Table::pct(100 * a.ccr_prot / n, 1),
+               util::Table::pct(100 * a.oer / n, 1),
+               util::Table::pct(100 * a.hd / n, 1), util::Table::count(a.n)});
+  }
+  return t;
+}
+
+std::string Result::to_csv() const {
+  std::ostringstream os;
+  os << "benchmark,seed,split_layer,defense,ccr,ccr_protected,oer,hd,"
+        "open_sinks,swaps,task_wall_ms\n";
+  for (const auto& r : rows) {
+    os << r.benchmark << ',' << r.seed << ',' << r.split_layer << ','
+       << to_string(r.defense) << ',' << r.ccr << ',' << r.ccr_protected
+       << ',' << r.oer << ',' << r.hd << ',' << r.open_sinks << ',' << r.swaps
+       << ',' << r.wall_ms << '\n';
+  }
+  return os.str();
+}
+
+std::string Result::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"jobs\": " << jobs << ",\n  \"wall_ms\": " << wall_ms
+     << ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << (i ? "," : "") << "\n    {\"benchmark\": \""
+       << json_escape(r.benchmark) << "\", \"seed\": " << r.seed
+       << ", \"split_layer\": " << r.split_layer << ", \"defense\": \""
+       << to_string(r.defense) << "\", \"ccr\": " << r.ccr
+       << ", \"ccr_protected\": " << r.ccr_protected << ", \"oer\": " << r.oer
+       << ", \"hd\": " << r.hd << ", \"open_sinks\": " << r.open_sinks
+       << ", \"swaps\": " << r.swaps << ", \"task_wall_ms\": " << r.wall_ms
+       << "}";
+  }
+  os << (rows.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+Result run(const Grid& grid, const Options& opts) {
+  // Resolve benchmark names up front so a typo throws before hours of work.
+  const auto& sb = workloads::superblue_names();
+  const auto& iscas = workloads::iscas85_names();
+  std::vector<Task> tasks;
+  tasks.reserve(grid.benchmarks.size() * grid.seeds.size() *
+                grid.defenses.size());
+  for (const auto& bench : grid.benchmarks) {
+    const bool superblue = std::find(sb.begin(), sb.end(), bench) != sb.end();
+    if (!superblue &&
+        std::find(iscas.begin(), iscas.end(), bench) == iscas.end())
+      throw std::invalid_argument("sweep: unknown benchmark '" + bench + "'");
+    for (const auto seed : grid.seeds)
+      for (const auto defense : grid.defenses)
+        tasks.push_back({bench, seed, defense, superblue});
+  }
+
+  Result result;
+  const std::size_t splits = grid.split_layers.size();
+  result.rows.resize(tasks.size() * splits);
+  result.jobs = util::resolve_jobs(opts.jobs, tasks.size());
+
+  const double t0 = now_ms();
+  // Row block for task i is [i*splits, (i+1)*splits): grid-major order, and
+  // no two tasks share a row — workers never contend on results.
+  util::parallel_for(opts.jobs, tasks.size(), [&](std::size_t i) {
+    run_task(tasks[i], grid, opts, result.rows.data() + i * splits);
+  });
+  result.wall_ms = now_ms() - t0;
+  return result;
+}
+
+}  // namespace sm::sweep

@@ -1,0 +1,113 @@
+// Parallel attack-sweep driver.
+//
+// The paper's headline tables are a cross product — benchmarks × seeds ×
+// split layers × defense configurations, each cell an independent
+// place/route/(protect)/split/attack pipeline — which makes them
+// embarrassingly parallel. This module expands such a product (`Grid`) into
+// tasks, runs them over a util::ThreadPool, and aggregates the CCR/OER/HD
+// metrics into a util::Table plus CSV/JSON exports.
+//
+// Determinism guarantee: every metric in the result depends only on the
+// grid coordinates of its row — (benchmark, seed, split layer, defense) plus
+// the sweep options — never on the number of worker threads or on scheduling
+// order. Per-task randomness is derived with util::task_seed from the row's
+// own grid seed, and rows live at fixed grid-major indices, so
+// `run(grid, {.jobs = 8})` is bit-identical to `.jobs = 1` (only the wall
+// -clock fields differ). tests/test_sweep.cpp holds this as a regression.
+//
+// Work granularity: one task per (benchmark, seed, defense) triple; the
+// task's layout is computed once and attacked at every split layer of the
+// grid (a layout does not depend on where it is later cut — recomputing it
+// per split would only burn CPU). Each (task × split) pair lands in its own
+// pre-assigned result row.
+#pragma once
+
+#include "util/table.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sm::sweep {
+
+/// Layout/defense configuration attacked by a sweep cell.
+enum class Defense {
+  Unprotected,  ///< plain layout of the original netlist
+  Proposed,     ///< the paper's randomize + correct + lift flow
+};
+
+const char* to_string(Defense d);
+/// Parse "unprotected"/"original" or "proposed"/"protected". Throws
+/// std::invalid_argument otherwise.
+Defense defense_from_string(const std::string& name);
+
+/// The cross product a sweep evaluates. Benchmarks may mix ISCAS-85 and
+/// superblue names (`scale` applies to the superblue ones).
+struct Grid {
+  std::vector<std::string> benchmarks;
+  std::vector<std::uint64_t> seeds = {1};
+  std::vector<int> split_layers = {3, 4, 5};
+  std::vector<Defense> defenses = {Defense::Unprotected, Defense::Proposed};
+  double scale = 0.02;  ///< superblue clone scale
+
+  /// Rows run(...) will produce: the full product size.
+  std::size_t combinations() const;
+
+  /// Apply one grid key ("benchmarks", "seeds", "splits"/"split-layers",
+  /// "defenses", "scale") with a comma-separated value, replacing that
+  /// dimension. Empty list entries are skipped. Throws
+  /// std::invalid_argument on unknown keys, defenses, or malformed numbers
+  /// — the --grid spec and the individual CLI flags share this validated
+  /// path.
+  void set(const std::string& key, const std::string& value);
+
+  /// Parse a compact spec: semicolon-separated key=value pairs applied via
+  /// set(), e.g.
+  ///   "benchmarks=c432,c880;seeds=1,2;splits=3,4,5;defenses=proposed;scale=0.02"
+  /// Omitted keys keep the defaults above.
+  static Grid parse(const std::string& spec);
+};
+
+struct Options {
+  std::size_t jobs = 1;           ///< worker threads; 0 = hardware concurrency
+  std::size_t patterns = 100000;  ///< simulation patterns for OER/HD
+};
+
+/// One evaluated grid cell.
+struct Row {
+  std::string benchmark;
+  std::uint64_t seed = 0;
+  int split_layer = 0;
+  Defense defense = Defense::Unprotected;
+
+  double ccr = 0.0;            ///< correct-connection rate, all open sinks
+  double ccr_protected = 0.0;  ///< CCR restricted to randomized connections
+  double oer = 0.0;            ///< recovered vs original netlist
+  double hd = 0.0;
+  std::size_t open_sinks = 0;
+  std::size_t swaps = 0;    ///< defense swaps (0 for Unprotected)
+  double wall_ms = 0.0;     ///< task wall time, NOT part of the determinism
+                            ///< contract (splits of a task share one timer)
+};
+
+struct Result {
+  std::vector<Row> rows;  ///< grid-major: benchmark, seed, defense, split
+  std::size_t jobs = 1;   ///< resolved worker count actually used
+  double wall_ms = 0.0;   ///< whole-sweep wall time
+
+  /// Per-row table (one line per grid cell).
+  util::Table table() const;
+  /// Mean CCR/OER/HD per (benchmark, defense), averaged over seeds and
+  /// split layers — the shape the paper's Tables 4/5 report.
+  util::Table summary() const;
+  std::string to_csv() const;
+  std::string to_json() const;
+};
+
+/// Run the sweep. Throws std::invalid_argument for unknown benchmark names
+/// (before any task runs); exceptions thrown by a task propagate after the
+/// whole batch finishes (lowest row index wins, see util::parallel_for).
+Result run(const Grid& grid, const Options& opts);
+
+}  // namespace sm::sweep

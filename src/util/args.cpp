@@ -1,6 +1,8 @@
 #include "util/args.hpp"
 
+#include <cctype>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace sm::util {
 
@@ -40,10 +42,43 @@ double Args::get_double(const std::string& key, double fallback) const {
   return it == kv_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
 }
 
+std::size_t Args::get_count(const std::string& key,
+                            std::size_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& v = it->second;
+  unsigned long long parsed = 0;
+  std::size_t used = 0;
+  if (!v.empty() && std::isdigit(static_cast<unsigned char>(v[0]))) {
+    try {
+      parsed = std::stoull(v, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+  }
+  if (v.empty() || used != v.size())
+    throw std::invalid_argument("--" + key +
+                                ": expected a non-negative integer, got '" +
+                                v + "'");
+  return static_cast<std::size_t>(parsed);
+}
+
 bool Args::get_bool(const std::string& key, bool fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> split_list(const std::string& text, char sep) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) items.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return items;
 }
 
 }  // namespace sm::util

@@ -2,6 +2,7 @@
 // Syntax: --key=value or --key value or bare --flag.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -18,6 +19,10 @@ class Args {
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
+  /// Strictly parsed non-negative integer (plain digits only). Throws
+  /// std::invalid_argument on anything else — get_int maps garbage to 0 and
+  /// lets negatives through, the wrong failure mode for counts like --jobs.
+  std::size_t get_count(const std::string& key, std::size_t fallback) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -25,5 +30,10 @@ class Args {
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;
 };
+
+/// Split a separator-joined list value ("c432,c880"). Empty entries are
+/// skipped, so trailing/doubled separators ("c432,", "a,,b") and the empty
+/// string parse to what the user meant instead of injecting "" items.
+std::vector<std::string> split_list(const std::string& text, char sep = ',');
 
 }  // namespace sm::util

@@ -21,6 +21,16 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Derive an independent seed for task `task_index` of a parallel batch from
+/// one master seed. Depends only on (master, index) — never on the thread
+/// that runs the task — so parallel_for results are bit-identical for any
+/// --jobs value (the sweep subsystem's determinism guarantee rests on this).
+constexpr std::uint64_t task_seed(std::uint64_t master,
+                                  std::uint64_t task_index) noexcept {
+  std::uint64_t s = master ^ (0x9e3779b97f4a7c15ULL * (task_index + 1));
+  return splitmix64(s);
+}
+
 /// xoshiro256** — fast, high-quality PRNG; satisfies UniformRandomBitGenerator.
 class Rng {
  public:

@@ -1,0 +1,170 @@
+// Tests for the parallel attack-sweep driver: grid spec parsing, empty-grid
+// edge cases, export formats, and the headline guarantee — CCR/OER/HD
+// bit-identical between --jobs=1 and --jobs=8 on the same grid.
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace sm;
+
+TEST(SweepGrid, ParsesFullSpec) {
+  const auto g = sweep::Grid::parse(
+      "benchmarks=c432,c880;seeds=1,2;splits=3,5;defenses=proposed;"
+      "scale=0.05");
+  EXPECT_EQ(g.benchmarks, (std::vector<std::string>{"c432", "c880"}));
+  EXPECT_EQ(g.seeds, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(g.split_layers, (std::vector<int>{3, 5}));
+  ASSERT_EQ(g.defenses.size(), 1u);
+  EXPECT_EQ(g.defenses[0], sweep::Defense::Proposed);
+  EXPECT_DOUBLE_EQ(g.scale, 0.05);
+  EXPECT_EQ(g.combinations(), 2u * 2u * 2u * 1u);
+}
+
+TEST(SweepGrid, OmittedKeysKeepDefaults) {
+  const auto g = sweep::Grid::parse("benchmarks=c432");
+  EXPECT_EQ(g.seeds, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(g.split_layers, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(g.defenses.size(), 2u);
+}
+
+TEST(SweepGrid, SkipsEmptyListEntries) {
+  const auto g = sweep::Grid::parse("benchmarks=c432,,c880,;seeds=7,");
+  EXPECT_EQ(g.benchmarks, (std::vector<std::string>{"c432", "c880"}));
+  EXPECT_EQ(g.seeds, (std::vector<std::uint64_t>{7}));
+}
+
+TEST(SweepGrid, RejectsMalformedSpecs) {
+  EXPECT_THROW(sweep::Grid::parse("bogus-key=1"), std::invalid_argument);
+  EXPECT_THROW(sweep::Grid::parse("no-equals"), std::invalid_argument);
+  EXPECT_THROW(sweep::Grid::parse("seeds=abc"), std::invalid_argument);
+  EXPECT_THROW(sweep::Grid::parse("defenses=voodoo"), std::invalid_argument);
+  EXPECT_THROW(sweep::Grid::parse("scale=much"), std::invalid_argument);
+  // Trailing garbage must not be silently truncated (stoi-style parsing).
+  EXPECT_THROW(sweep::Grid::parse("splits=4junk"), std::invalid_argument);
+  EXPECT_THROW(sweep::Grid::parse("seeds=-1"), std::invalid_argument);
+  EXPECT_THROW(sweep::Grid::parse("scale=0.05x"), std::invalid_argument);
+}
+
+TEST(SweepGrid, SetSharesTheValidatedPathWithParse) {
+  sweep::Grid g;
+  g.set("splits", "3,5,");
+  EXPECT_EQ(g.split_layers, (std::vector<int>{3, 5}));
+  g.set("seeds", "11");
+  EXPECT_EQ(g.seeds, (std::vector<std::uint64_t>{11}));
+  EXPECT_THROW(g.set("splits", "4junk"), std::invalid_argument);
+  EXPECT_THROW(g.set("wat", "1"), std::invalid_argument);
+}
+
+TEST(SweepDefense, RoundTripsNames) {
+  EXPECT_EQ(sweep::defense_from_string("unprotected"),
+            sweep::Defense::Unprotected);
+  EXPECT_EQ(sweep::defense_from_string("original"),
+            sweep::Defense::Unprotected);
+  EXPECT_EQ(sweep::defense_from_string("proposed"), sweep::Defense::Proposed);
+  EXPECT_EQ(sweep::defense_from_string("protected"), sweep::Defense::Proposed);
+  EXPECT_STREQ(sweep::to_string(sweep::Defense::Proposed), "proposed");
+}
+
+TEST(Sweep, EmptyGridProducesEmptyResult) {
+  sweep::Grid grid;  // no benchmarks
+  const auto res = sweep::run(grid, {});
+  EXPECT_TRUE(res.rows.empty());
+  EXPECT_EQ(grid.combinations(), 0u);
+  // Renderers and exporters must cope with zero rows.
+  EXPECT_FALSE(res.table().render().empty());
+  EXPECT_FALSE(res.summary().render().empty());
+  EXPECT_NE(res.to_csv().find("benchmark,seed"), std::string::npos);
+  EXPECT_NE(res.to_json().find("\"rows\": []"), std::string::npos);
+}
+
+TEST(Sweep, EmptySplitListProducesEmptyResult) {
+  sweep::Grid grid;
+  grid.benchmarks = {"c432"};
+  grid.split_layers.clear();
+  const auto res = sweep::run(grid, {});
+  EXPECT_TRUE(res.rows.empty());
+}
+
+TEST(Sweep, UnknownBenchmarkThrowsBeforeRunning) {
+  sweep::Grid grid;
+  grid.benchmarks = {"c432", "c9999"};
+  EXPECT_THROW(sweep::run(grid, {}), std::invalid_argument);
+}
+
+// The acceptance criterion: the same grid swept with 1 and with 8 worker
+// threads yields bit-identical attack metrics (only wall-clock may differ).
+TEST(Sweep, EightJobsBitIdenticalToOneJob) {
+  sweep::Grid grid;
+  grid.benchmarks = {"c432"};
+  grid.seeds = {1, 2};
+  grid.split_layers = {4};
+  // Both defenses: Proposed exercises protect(); Unprotected the baseline.
+  sweep::Options opts;
+  opts.patterns = 1500;
+
+  opts.jobs = 1;
+  const auto serial = sweep::run(grid, opts);
+  opts.jobs = 8;
+  const auto parallel = sweep::run(grid, opts);
+
+  EXPECT_EQ(serial.jobs, 1u);
+  // Result::jobs is the resolved count: 8 requested, but only 4 tasks
+  // (2 seeds x 2 defenses) exist to run on.
+  EXPECT_EQ(parallel.jobs, 4u);
+  ASSERT_EQ(serial.rows.size(), grid.combinations());
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const auto& a = serial.rows[i];
+    const auto& b = parallel.rows[i];
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.split_layer, b.split_layer);
+    EXPECT_EQ(a.defense, b.defense);
+    EXPECT_EQ(a.ccr, b.ccr);  // bitwise, not NEAR: the contract is identity
+    EXPECT_EQ(a.ccr_protected, b.ccr_protected);
+    EXPECT_EQ(a.oer, b.oer);
+    EXPECT_EQ(a.hd, b.hd);
+    EXPECT_EQ(a.open_sinks, b.open_sinks);
+    EXPECT_EQ(a.swaps, b.swaps);
+  }
+  // Sanity on the metrics themselves. Unprotected layouts of tiny circuits
+  // may route entirely below the split (zero open sinks), but the proposed
+  // defense lifts wires above it by construction.
+  for (const auto& row : serial.rows) {
+    if (row.defense == sweep::Defense::Proposed) {
+      EXPECT_GE(row.open_sinks, 1u);
+      EXPECT_GE(row.swaps, 1u);
+    }
+  }
+}
+
+TEST(Sweep, ExportsContainEveryRow) {
+  sweep::Grid grid;
+  grid.benchmarks = {"c432"};
+  grid.seeds = {3};
+  grid.split_layers = {4, 5};
+  grid.defenses = {sweep::Defense::Unprotected};
+  sweep::Options opts;
+  opts.patterns = 500;
+  const auto res = sweep::run(grid, opts);
+  ASSERT_EQ(res.rows.size(), 2u);
+
+  const auto csv = res.to_csv();
+  EXPECT_NE(csv.find("c432,3,4,unprotected"), std::string::npos);
+  EXPECT_NE(csv.find("c432,3,5,unprotected"), std::string::npos);
+
+  const auto json = res.to_json();
+  EXPECT_NE(json.find("\"split_layer\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"split_layer\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"defense\": \"unprotected\""), std::string::npos);
+
+  // Two splits of one (benchmark, seed, defense) task share one layout —
+  // and therefore report the same task wall time.
+  EXPECT_EQ(res.rows[0].wall_ms, res.rows[1].wall_ms);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Unit tests for util::ThreadPool / util::parallel_for — the exactly-once
+// contract, pool reuse, exception propagation (lowest failing index wins,
+// remaining tasks still run), and thread-count-independent results via
+// util::task_seed.
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace sm::util;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  pool.parallel_for(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch)
+    pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, LowestFailingIndexWinsAndEveryTaskStillRuns) {
+  constexpr std::size_t kN = 600;
+  std::vector<std::atomic<int>> counts(kN);
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(kN, [&](std::size_t i) {
+      counts[i].fetch_add(1);
+      if (i == 3 || i == 7 || i == 500)
+        throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");
+  }
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ParallelFor, SerialPathKeepsTheSameExceptionRule) {
+  std::vector<int> ran(10, 0);
+  try {
+    parallel_for(1, 10, [&](std::size_t i) {
+      ran[i] = 1;
+      if (i == 2 || i == 8) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "2");
+  }
+  for (const int r : ran) EXPECT_EQ(r, 1);
+}
+
+// The determinism contract the sweep subsystem rests on: per-task randomness
+// derived from (master seed, task index) gives bit-identical results for any
+// thread count.
+TEST(ParallelFor, TaskSeededResultsAreThreadCountInvariant) {
+  constexpr std::size_t kN = 257;
+  constexpr std::uint64_t kMaster = 42;
+  auto run = [&](std::size_t jobs) {
+    std::vector<std::uint64_t> out(kN);
+    parallel_for(jobs, kN, [&](std::size_t i) {
+      Rng rng(task_seed(kMaster, i));
+      std::uint64_t acc = 0;
+      for (int k = 0; k < 100; ++k) acc ^= rng();
+      out[i] = acc;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelFor, ResolveJobsClampsToTaskCountAndHardware) {
+  EXPECT_EQ(resolve_jobs(8, 3), 3u);
+  EXPECT_EQ(resolve_jobs(2, 100), 2u);
+  EXPECT_GE(resolve_jobs(0, 100), 1u);  // 0 = hardware concurrency
+  EXPECT_EQ(resolve_jobs(5, 0), 1u);
+  EXPECT_EQ(resolve_jobs(1, 1), 1u);
+}
+
+TEST(ParallelFor, JobsExceedingTasksStillRunsAll) {
+  std::vector<std::atomic<int>> counts(3);
+  parallel_for(16, 3, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+}  // namespace

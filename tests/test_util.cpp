@@ -10,6 +10,7 @@
 
 #include <array>
 #include <set>
+#include <stdexcept>
 
 namespace {
 
@@ -195,6 +196,42 @@ TEST(Args, Fallbacks) {
   EXPECT_EQ(args.get("missing", "dflt"), "dflt");
   EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
   EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, GetCountRejectsNegativeAndGarbage) {
+  const char* argv[] = {"prog", "--jobs=4", "--bad=-1", "--worse=abc",
+                        "--trail=4x"};
+  Args args(5, argv);
+  EXPECT_EQ(args.get_count("jobs", 1), 4u);
+  EXPECT_EQ(args.get_count("missing", 7), 7u);
+  EXPECT_THROW(args.get_count("bad", 1), std::invalid_argument);
+  EXPECT_THROW(args.get_count("worse", 1), std::invalid_argument);
+  EXPECT_THROW(args.get_count("trail", 1), std::invalid_argument);
+}
+
+TEST(SplitList, SplitsAndSkipsEmptyEntries) {
+  EXPECT_EQ(split_list("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  // Trailing, doubled, and leading separators must not inject "" items
+  // (the --benchmarks=c432, regression).
+  EXPECT_EQ(split_list("c432,"), (std::vector<std::string>{"c432"}));
+  EXPECT_EQ(split_list("a,,b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_list(",x"), (std::vector<std::string>{"x"}));
+  EXPECT_TRUE(split_list("").empty());
+  EXPECT_TRUE(split_list(",,,").empty());
+  EXPECT_EQ(split_list("k=v;w=z", ';'),
+            (std::vector<std::string>{"k=v", "w=z"}));
+}
+
+TEST(TaskSeed, DeterministicAndIndexSensitive) {
+  EXPECT_EQ(task_seed(1, 0), task_seed(1, 0));
+  EXPECT_NE(task_seed(1, 0), task_seed(1, 1));
+  EXPECT_NE(task_seed(1, 0), task_seed(2, 0));
+  // Streams seeded from adjacent task indices must diverge immediately.
+  Rng a(task_seed(9, 4)), b(task_seed(9, 5));
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
 }
 
 }  // namespace
