@@ -6,9 +6,14 @@
 #include "core/protect.hpp"
 #include "core/split.hpp"
 #include "sim/simulator.hpp"
+#include "util/grid_index.hpp"
+#include "util/rng.hpp"
 #include "workloads/generator.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <limits>
+#include <utility>
 
 namespace {
 
@@ -40,6 +45,21 @@ void BM_CompareOerHd(benchmark::State& state) {
     const auto r = sim::compare(nl, nl, 4096, 3);
     benchmark::DoNotOptimize(r);
   }
+}
+
+// Sim throughput of the block-parallel compare path: patterns/second over
+// the per-block task_seed streams. Arg = worker threads (results are
+// bit-identical across them; only the wall time moves).
+void BM_CompareThroughputJobs(benchmark::State& state) {
+  const auto nl = make_bench("c2670");
+  const std::size_t jobs = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPatterns = 65536;
+  for (auto _ : state) {
+    const auto r = sim::compare(nl, nl, kPatterns, 3, jobs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kPatterns));
 }
 
 void BM_Randomize(benchmark::State& state) {
@@ -91,12 +111,86 @@ void BM_ProximityAttack(benchmark::State& state) {
   }
 }
 
+// Candidate-generation cost of the proximity attack: the same split view
+// attacked with the spatial index forced on (threshold 0) vs forced off
+// (threshold INT_MAX -> brute-force all-pairs pair_cost). eval_patterns is
+// tiny so the matcher dominates; both variants produce identical metrics.
+struct AttackRig {
+  netlist::Netlist nl;
+  core::LayoutResult layout;
+  core::SplitView view;
+
+  static const AttackRig& instance() {
+    static AttackRig rig = [] {
+      core::FlowOptions flow;
+      flow.router.passes = 2;
+      auto nl = make_bench("c7552");
+      auto layout = core::layout_original(nl, flow);
+      auto view = core::split_layout(nl, layout.placement, layout.routing,
+                                     layout.tasks, layout.num_net_tasks, 3);
+      return AttackRig{std::move(nl), std::move(layout), std::move(view)};
+    }();
+    return rig;
+  }
+};
+
+void attack_candidates(benchmark::State& state, int index_min_drivers,
+                       std::size_t jobs) {
+  const auto& rig = AttackRig::instance();
+  attack::ProximityOptions opts;
+  opts.eval_patterns = 64;
+  opts.index_min_drivers = index_min_drivers;
+  opts.jobs = jobs;
+  for (auto _ : state) {
+    const auto res = attack::proximity_attack(
+        rig.nl, rig.nl, rig.layout.placement, rig.view, nullptr, opts);
+    benchmark::DoNotOptimize(res.correct);
+  }
+}
+
+void BM_AttackCandidatesBrute(benchmark::State& state) {
+  attack_candidates(state, std::numeric_limits<int>::max(), 1);
+}
+
+void BM_AttackCandidatesIndexed(benchmark::State& state) {
+  attack_candidates(state, 0, 1);
+}
+
+void BM_AttackCandidatesIndexedJobs(benchmark::State& state) {
+  attack_candidates(state, 0, static_cast<std::size_t>(state.range(0)));
+}
+
+// Raw expanding-ring query throughput against a brute-force linear scan on
+// the same uniformly random point set.
+void BM_GridIndexKNearest(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  std::vector<util::Point> pts(n);
+  for (auto& p : pts) p = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+  const util::GridIndex index(pts);
+  std::size_t q = 0;
+  for (auto _ : state) {
+    const auto nn = index.k_nearest(pts[q++ % n], 16);
+    benchmark::DoNotOptimize(nn);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 BENCHMARK(BM_Simulation64Patterns);
 BENCHMARK(BM_CompareOerHd);
+BENCHMARK(BM_CompareThroughputJobs)->Arg(1)->Arg(2)->Arg(4);
 BENCHMARK(BM_Randomize);
 BENCHMARK(BM_Place);
 BENCHMARK(BM_Route);
 BENCHMARK(BM_ProximityAttack);
+BENCHMARK(BM_AttackCandidatesBrute)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AttackCandidatesIndexed)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AttackCandidatesIndexedJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GridIndexKNearest)->Arg(1000)->Arg(100000);
 
 }  // namespace
 

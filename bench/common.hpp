@@ -13,6 +13,12 @@
 //                   0 = hardware concurrency). Results are bit-identical
 //                   for any value — benches compute into index-addressed
 //                   slots and render tables in benchmark order afterwards.
+//   --attack-jobs=<n>  worker threads *inside* each proximity attack
+//                   (candidate generation + OER/HD simulation blocks);
+//                   default 1. Also bit-identical for any value. Prefer
+//                   --jobs when sweeping many benchmarks and --attack-jobs
+//                   when drilling into one large instance — combining both
+//                   oversubscribes the machine.
 #pragma once
 
 #include "core/baselines.hpp"
@@ -35,7 +41,8 @@ struct SuiteOptions {
   std::uint64_t seed = 1;
   std::size_t patterns = 100000;
   bool quick = false;
-  std::size_t jobs = 1;           ///< threads for the benchmark loop; 0 = hw
+  std::size_t jobs = 1;         ///< threads for the benchmark loop; 0 = hw
+  std::size_t attack_jobs = 1;  ///< threads inside each proximity attack
   std::vector<std::string> only;  ///< benchmark filter (empty = all)
 };
 
@@ -48,6 +55,7 @@ inline SuiteOptions parse_suite(int argc, const char* const* argv) {
       args.get_int("patterns", static_cast<std::int64_t>(s.patterns)));
   s.quick = args.get_bool("quick", false);
   s.jobs = args.get_count("jobs", 1);
+  s.attack_jobs = args.get_count("attack-jobs", 1);
   s.only = util::split_list(args.get("benchmarks", ""));
   return s;
 }

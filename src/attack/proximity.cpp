@@ -2,11 +2,17 @@
 
 #include "attack/mcmf.hpp"
 #include "netlist/topo.hpp"
+#include "util/grid_index.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <map>
-#include <set>
+#include <optional>
+#include <utility>
+#include <vector>
 
 namespace sm::attack {
 
@@ -16,16 +22,20 @@ using netlist::CellId;
 using netlist::NetId;
 using netlist::Netlist;
 using netlist::Sink;
+using util::GridIndex;
 using util::Point;
 
 namespace {
 
 /// Hypothesis connectivity the attacker grows: visible FEOL connections plus
-/// committed guesses. Supports incremental combinational-loop checks.
+/// committed guesses. Supports incremental combinational-loop checks. The
+/// visited set is an epoch-stamped vector reused across queries — would_loop
+/// sits in the innermost commit loops and must not allocate per call.
 class Hypothesis {
  public:
   explicit Hypothesis(const Netlist& nl) : nl_(&nl) {
     adj_.resize(nl.num_cells());
+    mark_.assign(nl.num_cells(), 0);
   }
 
   void add_edge(CellId from, CellId to) { adj_[from].push_back(to); }
@@ -34,15 +44,23 @@ class Hypothesis {
   bool would_loop(CellId from, CellId to) const {
     if (!nl_->is_combinational(from)) return false;
     if (from == to) return true;
-    std::vector<CellId> stack{to};
-    std::set<CellId> seen{to};
-    while (!stack.empty()) {
-      const CellId cur = stack.back();
-      stack.pop_back();
+    if (++epoch_ == 0) {  // epoch wrapped: old stamps are ambiguous, reset
+      std::fill(mark_.begin(), mark_.end(), 0);
+      epoch_ = 1;
+    }
+    stack_.clear();
+    stack_.push_back(to);
+    mark_[to] = epoch_;
+    while (!stack_.empty()) {
+      const CellId cur = stack_.back();
+      stack_.pop_back();
       if (!nl_->is_combinational(cur)) continue;
       for (const CellId nxt : adj_[cur]) {
         if (nxt == from) return true;
-        if (seen.insert(nxt).second) stack.push_back(nxt);
+        if (mark_[nxt] != epoch_) {
+          mark_[nxt] = epoch_;
+          stack_.push_back(nxt);
+        }
       }
     }
     return false;
@@ -51,10 +69,23 @@ class Hypothesis {
  private:
   const Netlist* nl_;
   std::vector<std::vector<CellId>> adj_;
+  mutable std::vector<std::uint32_t> mark_;  ///< visited iff == epoch_
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::vector<CellId> stack_;
 };
 
 Point frag_anchor(const Fragment& f) {
   return f.vpins.empty() ? f.anchor : f.vpins.front().pos;
+}
+
+/// Largest Manhattan offset of any vpin from the fragment's indexed anchor.
+/// The index stores one point per fragment; this slack restores a valid
+/// distance lower bound for the whole vpin cloud.
+double vpin_spread(const Fragment& f) {
+  double r = 0.0;
+  const Point a = frag_anchor(f);
+  for (const auto& v : f.vpins) r = std::max(r, util::manhattan(a, v.pos));
+  return r;
 }
 
 /// Matching cost between a driver fragment and a sink fragment: closest
@@ -113,6 +144,158 @@ double pair_cost(const Netlist& feol, const Fragment& drv,
   return best * prior_factor + anchor_term;
 }
 
+/// One candidate pairing; per-sink lists are sorted by (cost, di) — the
+/// explicit driver-index tie-break keeps the indexed and brute-force paths
+/// (and reruns on any thread count) bit-identical.
+struct Cand {
+  double cost;
+  std::size_t di;
+
+  friend bool operator<(const Cand& a, const Cand& b) {
+    return a.cost < b.cost || (a.cost == b.cost && a.di < b.di);
+  }
+};
+
+/// Ranks driver fragments per sink fragment by pair_cost. Large instances
+/// go through a GridIndex holding every driver-fragment vpin (plus the
+/// anchor of vpin-less fragments) tagged with its owning driver; a query
+/// walks expanding rings from the sink's anchor and prunes with the exact
+/// lower bound
+///   pair_cost >= (max(0, vpin_dist - sink vpin spread) + 1) * cost_floor,
+/// valid because every distance pair_cost can be built from starts at one
+/// of the driver's indexed points. The query stops once every unvisited
+/// driver is provably worse than the current k-th candidate, so the result
+/// equals the brute-force scan. Small instances (or exotic negative
+/// weights that void the bound) use brute force directly. Immutable after
+/// construction: concurrent cheapest()/ranking() calls from the
+/// candidate-generation shards are safe (per-thread visit scratch).
+class CandidateFinder {
+ public:
+  CandidateFinder(const Netlist& feol, const SplitView& view,
+                  const std::vector<std::size_t>& drv_frag_ids,
+                  const ProximityOptions& opts)
+      : feol_(&feol), view_(&view), drv_ids_(&drv_frag_ids), opts_(&opts) {
+    const std::size_t nd = drv_frag_ids.size();
+    cost_floor_ = 1.0;
+    if (opts.use_direction) {
+      // The stub cosine is taken against an unnormalized direction vector
+      // whose components are in {-1, 0, 1}, so it reaches sqrt(2) for
+      // diagonal stubs — the per-endpoint discount can exceed `half`.
+      // factor >= 1 - 2*half*sqrt(2) = 1 - (1-bonus)*sqrt(2) is the
+      // universally sound floor; when it is <= 0 (direction_bonus below
+      // ~0.3) the use_index_ guard falls back to brute force.
+      const double dir_min =
+          1.0 - (1.0 - std::min(1.0, opts.direction_bonus)) * std::sqrt(2.0);
+      cost_floor_ = std::max(0.0, dir_min) * std::min(1.0, opts.track_bonus);
+    }
+    if (opts.use_strength_prior)
+      cost_floor_ *=
+          std::min(1.0, 1.0 + 2.0 * opts.strength_prior_weight);
+    use_index_ = nd >= static_cast<std::size_t>(
+                           std::max(1, opts.index_min_drivers)) &&
+                 cost_floor_ > 0.0 && opts.anchor_weight >= 0.0;
+    if (!use_index_) return;
+    std::vector<Point> points;
+    for (std::size_t di = 0; di < nd; ++di) {
+      const Fragment& f = view.fragments[drv_frag_ids[di]];
+      if (f.vpins.empty()) {
+        points.push_back(f.anchor);
+        owner_.push_back(di);
+      } else {
+        for (const auto& v : f.vpins) {
+          points.push_back(v.pos);
+          owner_.push_back(di);
+        }
+      }
+    }
+    index_ = GridIndex(points, opts.index_target_per_cell);
+  }
+
+  bool indexed() const { return use_index_; }
+
+  /// The k cheapest drivers for `sf`, ascending by (cost, di).
+  std::vector<Cand> cheapest(const Fragment& sf, std::size_t k) const {
+    const std::size_t nd = drv_ids_->size();
+    k = std::min(k, nd);
+    if (k == 0) return {};
+    if (!use_index_ || k == nd) {
+      std::vector<Cand> all;
+      all.reserve(nd);
+      for (std::size_t di = 0; di < nd; ++di)
+        all.push_back({cost_of(sf, di), di});
+      std::partial_sort(all.begin(),
+                        all.begin() + static_cast<std::ptrdiff_t>(k),
+                        all.end(),
+                        std::less<Cand>());
+      all.resize(k);
+      return all;
+    }
+    // Per-worker scratch deduplicating multi-vpin drivers within a query.
+    // Purely an intra-query visited set — nothing carries across queries,
+    // so results stay independent of which thread (or epoch) served them.
+    static thread_local std::vector<std::uint32_t> mark;
+    static thread_local std::uint32_t epoch = 0;
+    if (mark.size() < nd) mark.assign(nd, 0);
+    if (++epoch == 0) {
+      std::fill(mark.begin(), mark.end(), 0);
+      epoch = 1;
+    }
+    const Point q = frag_anchor(sf);
+    const double slack = vpin_spread(sf);
+    // Max-heap of the k best seen; heap.front() is the current worst kept.
+    std::vector<Cand> heap;
+    heap.reserve(k + 1);
+    const auto worse = [](const Cand& a, const Cand& b) { return a < b; };
+    index_.for_each_ring(
+        q,
+        [&](std::size_t pt) {
+          const std::size_t di = owner_[pt];
+          if (mark[di] == epoch) return;  // another vpin already scored it
+          mark[di] = epoch;
+          const Cand c{cost_of(sf, di), di};
+          if (heap.size() < k) {
+            heap.push_back(c);
+            std::push_heap(heap.begin(), heap.end(), worse);
+          } else if (c < heap.front()) {
+            std::pop_heap(heap.begin(), heap.end(), worse);
+            heap.back() = c;
+            std::push_heap(heap.begin(), heap.end(), worse);
+          }
+        },
+        [&](double lb) {
+          if (heap.size() < k) return true;
+          const double floor =
+              (std::max(0.0, lb - slack) + 1.0) * cost_floor_;
+          // `<=`: an unvisited driver at exactly the k-th cost may still win
+          // the (cost, di) tie-break.
+          return floor <= heap.front().cost;
+        });
+    std::sort(heap.begin(), heap.end());
+    return heap;
+  }
+
+  /// All drivers for `sf`, ascending by (cost, di) — the repair fallback.
+  /// (k == nd takes cheapest()'s brute branch, so both orderings share one
+  /// comparator by construction.)
+  std::vector<Cand> ranking(const Fragment& sf) const {
+    return cheapest(sf, drv_ids_->size());
+  }
+
+ private:
+  double cost_of(const Fragment& sf, std::size_t di) const {
+    return pair_cost(*feol_, view_->fragments[(*drv_ids_)[di]], sf, *opts_);
+  }
+
+  const Netlist* feol_;
+  const SplitView* view_;
+  const std::vector<std::size_t>* drv_ids_;
+  const ProximityOptions* opts_;
+  GridIndex index_;
+  std::vector<std::size_t> owner_;  ///< indexed point -> driver index
+  double cost_floor_ = 1.0;
+  bool use_index_ = false;
+};
+
 }  // namespace
 
 ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
@@ -128,17 +311,40 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
   const std::size_t nd = drv_frag_ids.size();
   const std::size_t ns = snk_frag_ids.size();
 
+  // One pool for every sharded phase (candidate generation, repair
+  // orderings); fresh-pool-per-batch would violate thread_pool.hpp's
+  // hot-loop guidance. Serial when jobs resolves to 1.
+  const std::size_t jobs = util::resolve_jobs(opts.jobs, std::max(ns, nd));
+  std::optional<util::ThreadPool> pool;
+  if (jobs > 1) pool.emplace(jobs);
+  const auto pfor = [&](std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+    if (pool && n > 1)
+      pool->parallel_for(n, fn);
+    else
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+  };
+
   // Sink pins the attacker must recover (everything else is FEOL-visible).
-  std::set<std::pair<CellId, int>> open_pins;
+  // Sorted flat vector: queried in the per-driver budget loops and the
+  // scoring pass, where a node-based set's allocations would dominate.
+  std::vector<std::pair<CellId, int>> open_pins;
   for (const auto fi : snk_frag_ids)
     for (const auto& s : view.fragments[fi].sinks)
-      open_pins.insert({s.cell, s.pin});
+      open_pins.push_back({s.cell, s.pin});
+  std::sort(open_pins.begin(), open_pins.end());
+  open_pins.erase(std::unique(open_pins.begin(), open_pins.end()),
+                  open_pins.end());
+  const auto pin_open = [&](CellId cell, int pin) {
+    return std::binary_search(open_pins.begin(), open_pins.end(),
+                              std::make_pair(cell, pin));
+  };
 
   Hypothesis hyp(feol);
   for (NetId n = 0; n < feol.num_nets(); ++n) {
     const auto& net = feol.net(n);
     for (const auto& s : net.sinks)
-      if (!open_pins.count({s.cell, s.pin})) hyp.add_edge(net.driver, s.cell);
+      if (!pin_open(s.cell, s.pin)) hyp.add_edge(net.driver, s.cell);
   }
 
   // Driver fanout capacity from the load budget (hint (iii)).
@@ -160,34 +366,25 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
       double budget =
           opts.load_budget_ff_per_ks / std::max(t.drive_res_kohm, 0.5);
       for (const auto& s : feol.net(f.net).sinks)
-        if (!open_pins.count({s.cell, s.pin}))
+        if (!pin_open(s.cell, s.pin))
           budget -= feol.type_of(s.cell).input_cap_ff;
       drv_capacity[di] = std::max(1, static_cast<int>(budget / avg_frag_cap));
     }
   }
 
-  // Candidate edges: k cheapest driver fragments per sink fragment.
-  struct Cand {
-    double cost;
-    std::size_t si, di;
-  };
+  // Candidate edges: the k cheapest driver fragments per sink fragment,
+  // queried through the spatial index (brute force for small nd) and
+  // sharded per sink — each query writes only its own slot, so the lists
+  // are identical for any jobs value.
+  const CandidateFinder finder(feol, view, drv_frag_ids, opts);
+  const std::size_t k =
+      opts.candidates_per_sink <= 0
+          ? nd
+          : std::min(nd, static_cast<std::size_t>(opts.candidates_per_sink));
   std::vector<std::vector<Cand>> per_sink(ns);
-  for (std::size_t si = 0; si < ns; ++si) {
-    const Fragment& sf = view.fragments[snk_frag_ids[si]];
-    auto& local = per_sink[si];
-    local.reserve(nd);
-    for (std::size_t di = 0; di < nd; ++di) {
-      const Fragment& df = view.fragments[drv_frag_ids[di]];
-      local.push_back({pair_cost(feol, df, sf, opts), si, di});
-    }
-    const std::size_t k = std::min<std::size_t>(
-        static_cast<std::size_t>(opts.candidates_per_sink), local.size());
-    std::partial_sort(local.begin(),
-                      local.begin() + static_cast<std::ptrdiff_t>(k),
-                      local.end(),
-                      [](const Cand& a, const Cand& b) { return a.cost < b.cost; });
-    local.resize(k);
-  }
+  pfor(ns, [&](std::size_t si) {
+    per_sink[si] = finder.cheapest(view.fragments[snk_frag_ids[si]], k);
+  });
 
   // Min-cost flow: source -> sink-fragments (cap 1) -> candidate drivers
   // (cap 1 each edge) -> drivers -> target (cap = fanout budget).
@@ -242,19 +439,36 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
       if (creates_loop(r.si, r.di)) continue;  // repaired below
       commit(r.si, r.di);
     }
-    // Loop/completion repair: nearest loop-free driver for the rest.
+    // Loop/completion repair, stage 1: walk each unassigned sink's cached
+    // candidate list — it already holds the k cheapest drivers in commit
+    // order, so no pair_cost is recomputed here.
+    std::vector<std::size_t> exhausted;
     for (std::size_t si = 0; si < ns; ++si) {
       if (assigned[si] != static_cast<std::size_t>(-1)) continue;
-      const Fragment& sf = view.fragments[snk_frag_ids[si]];
-      std::vector<std::pair<double, std::size_t>> order;
-      for (std::size_t di = 0; di < nd; ++di)
-        order.push_back(
-            {pair_cost(feol, view.fragments[drv_frag_ids[di]], sf, opts), di});
-      std::sort(order.begin(), order.end());
-      for (const auto& [cost, di] : order) {
-        if (creates_loop(si, di)) continue;
-        commit(si, di);
+      bool done = false;
+      for (const auto& c : per_sink[si]) {
+        if (creates_loop(si, c.di)) continue;
+        commit(si, c.di);
+        done = true;
         break;
+      }
+      if (!done) exhausted.push_back(si);
+    }
+    // Stage 2 (rare): sinks whose every cached candidate closes a loop get
+    // the full cost ranking — computed in parallel (pure function of the
+    // view), then committed serially in sink order.
+    if (!exhausted.empty()) {
+      std::vector<std::vector<Cand>> full(exhausted.size());
+      pfor(exhausted.size(), [&](std::size_t j) {
+        full[j] = finder.ranking(view.fragments[snk_frag_ids[exhausted[j]]]);
+      });
+      for (std::size_t j = 0; j < exhausted.size(); ++j) {
+        const std::size_t si = exhausted[j];
+        for (const auto& c : full[j]) {
+          if (creates_loop(si, c.di)) continue;
+          commit(si, c.di);
+          break;
+        }
       }
     }
   }
@@ -291,7 +505,7 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
   // erroneous connection happens to equal the original one, which swaps
   // preclude).
   for (const auto& [key, true_net] : truth) {
-    if (open_pins.count(key)) continue;
+    if (pin_open(key.first, key.second)) continue;
     const NetId visible = feol.cell(key.first).inputs.at(
         static_cast<std::size_t>(key.second));
     ++result.protected_total;
@@ -300,8 +514,8 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
 
   recovered.validate();
   if (netlist::is_acyclic(recovered)) {
-    result.rates =
-        sim::compare(original, recovered, opts.eval_patterns, opts.seed);
+    result.rates = sim::compare(original, recovered, opts.eval_patterns,
+                                opts.seed, opts.jobs);
   } else {
     // Should not happen with loop checks on; report total failure honestly.
     result.rates.oer = 1.0;

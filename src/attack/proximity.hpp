@@ -19,6 +19,14 @@
 // Scoring is against the true (original) netlist: CCR is the fraction of
 // recovered connections that match it; OER/HD are measured by simulating
 // the recovered netlist against the original.
+//
+// Scale: candidate generation ranks driver fragments per sink through a
+// util::GridIndex over the driver fragments' vpins (expanding-ring queries
+// with an exact pair_cost lower bound), turning the O(ns*nd) all-pairs scan
+// into O(ns*k) for large instances, and shards the per-sink queries — plus
+// the repair orderings and the OER/HD simulation blocks — over
+// ProximityOptions::jobs worker threads. Metrics are bit-identical for any
+// jobs value and for indexed vs brute-force candidate generation.
 #pragma once
 
 #include "core/randomizer.hpp"
@@ -57,6 +65,18 @@ struct ProximityOptions {
   bool use_load = true;
   std::size_t eval_patterns = 100000;  ///< for OER/HD of the recovered netlist
   std::uint64_t seed = 7;
+  /// Worker threads (0 = hardware concurrency) sharding candidate
+  /// generation, the repair-ordering scan, and the OER/HD simulation.
+  /// Results are bit-identical for every value — no attack randomness may
+  /// depend on the executing thread.
+  std::size_t jobs = 1;
+  /// Build the spatial vpin index when at least this many open driver
+  /// fragments exist; below it (or when exotic negative weights void the
+  /// index's cost lower bound) candidates come from the brute-force scan.
+  /// Both paths rank by (pair_cost, driver index) and return identical
+  /// candidate sets — the index only skips provably-too-far drivers.
+  int index_min_drivers = 64;
+  double index_target_per_cell = 4.0;  ///< bucket occupancy of the index
 };
 
 struct ProximityResult {

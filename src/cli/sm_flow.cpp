@@ -47,8 +47,10 @@ int usage(std::FILE* to) {
       "            [--out-def=F] FEOL-only DEF with VPINS  [--unprotected]\n"
       "  attack    proximity attack on the FEOL; CCR/OER/HD\n"
       "            [--unprotected] [--no-direction] [--no-load] [--no-loops]\n"
-      "            [--candidates=N]\n"
+      "            [--candidates=N] [--jobs=N] [--index-threshold=N]\n"
+      "            (results are bit-identical for any --jobs value)\n"
       "  report    protected vs unprotected security + PPA table\n"
+      "            [--jobs=N] [--index-threshold=N]\n"
       "  sweep     parallel attack sweep over {benchmarks x seeds x split\n"
       "            layers x defenses}; metrics are bit-identical for any\n"
       "            --jobs value\n"
@@ -109,6 +111,11 @@ attack::ProximityOptions attack_options(const util::Args& args,
   a.use_strength_prior = args.get_bool("strength-prior", false);
   a.candidates_per_sink =
       static_cast<int>(args.get_int("candidates", a.candidates_per_sink));
+  // Sharding + spatial-index knobs; CCR/OER/HD are bit-identical for any
+  // --jobs value and for indexed vs brute-force candidate generation.
+  a.jobs = args.get_count("jobs", 1);
+  a.index_min_drivers =
+      static_cast<int>(args.get_int("index-threshold", a.index_min_drivers));
   return a;
 }
 

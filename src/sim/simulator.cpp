@@ -1,8 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include "netlist/topo.hpp"
+#include "util/thread_pool.hpp"
 
 #include <bit>
+#include <mutex>
 #include <stdexcept>
 
 // Word-parallel simulation leans on C++20 <bit> (std::popcount); without
@@ -45,10 +47,17 @@ Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
 
 void Simulator::eval(const std::vector<std::uint64_t>& source_words,
                      std::vector<std::uint64_t>& observer_words) const {
+  eval(source_words, observer_words, values_);
+}
+
+void Simulator::eval(const std::vector<std::uint64_t>& source_words,
+                     std::vector<std::uint64_t>& observer_words,
+                     std::vector<std::uint64_t>& values) const {
   if (source_words.size() != sources_.size())
     throw std::invalid_argument("Simulator::eval: source word count mismatch");
+  if (values.size() != nl_->num_nets()) values.assign(nl_->num_nets(), 0);
   for (std::size_t i = 0; i < sources_.size(); ++i)
-    values_[sources_[i]] = source_words[i];
+    values[sources_[i]] = source_words[i];
 
   for (const CellId id : order_) {
     const Cell& c = nl_->cell(id);
@@ -57,86 +66,118 @@ void Simulator::eval(const std::vector<std::uint64_t>& source_words,
     switch (fn) {
       case LogicFn::Const0: v = 0; break;
       case LogicFn::Const1: v = ~0ULL; break;
-      case LogicFn::Buf: v = values_[c.inputs[0]]; break;
-      case LogicFn::Inv: v = ~values_[c.inputs[0]]; break;
+      case LogicFn::Buf: v = values[c.inputs[0]]; break;
+      case LogicFn::Inv: v = ~values[c.inputs[0]]; break;
       case LogicFn::And:
       case LogicFn::Nand: {
         v = ~0ULL;
-        for (const NetId in : c.inputs) v &= values_[in];
+        for (const NetId in : c.inputs) v &= values[in];
         if (fn == LogicFn::Nand) v = ~v;
         break;
       }
       case LogicFn::Or:
       case LogicFn::Nor: {
         v = 0;
-        for (const NetId in : c.inputs) v |= values_[in];
+        for (const NetId in : c.inputs) v |= values[in];
         if (fn == LogicFn::Nor) v = ~v;
         break;
       }
-      case LogicFn::Xor: v = values_[c.inputs[0]] ^ values_[c.inputs[1]]; break;
-      case LogicFn::Xnor: v = ~(values_[c.inputs[0]] ^ values_[c.inputs[1]]); break;
+      case LogicFn::Xor: v = values[c.inputs[0]] ^ values[c.inputs[1]]; break;
+      case LogicFn::Xnor: v = ~(values[c.inputs[0]] ^ values[c.inputs[1]]); break;
       case LogicFn::Aoi21:
-        v = ~((values_[c.inputs[0]] & values_[c.inputs[1]]) | values_[c.inputs[2]]);
+        v = ~((values[c.inputs[0]] & values[c.inputs[1]]) | values[c.inputs[2]]);
         break;
       case LogicFn::Oai21:
-        v = ~((values_[c.inputs[0]] | values_[c.inputs[1]]) & values_[c.inputs[2]]);
+        v = ~((values[c.inputs[0]] | values[c.inputs[1]]) & values[c.inputs[2]]);
         break;
       case LogicFn::Mux2: {
-        const std::uint64_t s = values_[c.inputs[2]];
-        v = (values_[c.inputs[0]] & ~s) | (values_[c.inputs[1]] & s);
+        const std::uint64_t s = values[c.inputs[2]];
+        v = (values[c.inputs[0]] & ~s) | (values[c.inputs[1]] & s);
         break;
       }
       case LogicFn::Dff:
       case LogicFn::Port:
         continue;  // not combinational; handled via sources/observers
     }
-    if (c.output != kInvalidNet) values_[c.output] = v;
+    if (c.output != kInvalidNet) values[c.output] = v;
   }
 
   observer_words.resize(observers_.size());
   for (std::size_t i = 0; i < observers_.size(); ++i)
-    observer_words[i] = values_[observers_[i]];
+    observer_words[i] = values[observers_[i]];
 }
 
 namespace {
 
 std::size_t words_for(std::size_t patterns) { return (patterns + 63) / 64; }
 
+constexpr std::size_t kWordsPerBlock = kPatternsPerBlock / 64;
+static_assert(kPatternsPerBlock % 64 == 0);
+
+std::size_t blocks_for(std::size_t patterns) {
+  return (words_for(patterns) + kWordsPerBlock - 1) / kWordsPerBlock;
+}
+
+/// Drive `fn(word_index, stimulus, mask)` for every pattern word of block
+/// `b`, with the block's own task_seed RNG stream. The (block, word) ->
+/// stimulus mapping is independent of the worker count.
+template <class Fn>
+void run_block(std::size_t b, std::size_t patterns, std::uint64_t seed,
+               std::vector<std::uint64_t>& src, Fn&& fn) {
+  util::Rng rng(util::task_seed(seed, b));
+  const std::size_t w_end = std::min(words_for(patterns),
+                                     (b + 1) * kWordsPerBlock);
+  for (std::size_t w = b * kWordsPerBlock; w < w_end; ++w) {
+    const std::size_t batch = std::min<std::size_t>(64, patterns - w * 64);
+    const std::uint64_t mask = batch == 64 ? ~0ULL : ((1ULL << batch) - 1);
+    for (auto& word : src) word = rng();
+    fn(batch, mask);
+  }
+}
+
 }  // namespace
 
 ErrorRates compare(const Netlist& golden, const Netlist& dut,
-                   std::size_t patterns, std::uint64_t seed) {
+                   std::size_t patterns, std::uint64_t seed,
+                   std::size_t jobs) {
   Simulator sg(golden);
   Simulator sd(dut);
   if (sg.num_sources() != sd.num_sources() ||
       sg.num_observers() != sd.num_observers())
     throw std::invalid_argument("compare: source/observer count mismatch");
 
-  util::Rng rng(seed);
-  const std::size_t words = words_for(patterns);
-  std::vector<std::uint64_t> src(sg.num_sources());
-  std::vector<std::uint64_t> out_g, out_d;
+  struct BlockCounts {
+    std::size_t wrong_bits = 0;
+    std::size_t wrong_patterns = 0;
+    std::size_t patterns = 0;
+  };
+  const std::size_t blocks = blocks_for(patterns);
+  std::vector<BlockCounts> counts(blocks);
+  util::parallel_for(jobs, blocks, [&](std::size_t b) {
+    std::vector<std::uint64_t> src(sg.num_sources());
+    std::vector<std::uint64_t> out_g, out_d, val_g, val_d;
+    BlockCounts& c = counts[b];
+    run_block(b, patterns, seed, src,
+              [&](std::size_t batch, std::uint64_t mask) {
+                sg.eval(src, out_g, val_g);
+                sd.eval(src, out_d, val_d);
+                std::uint64_t any_diff = 0;
+                for (std::size_t i = 0; i < out_g.size(); ++i) {
+                  const std::uint64_t diff = (out_g[i] ^ out_d[i]) & mask;
+                  c.wrong_bits += static_cast<std::size_t>(std::popcount(diff));
+                  any_diff |= diff;
+                }
+                c.wrong_patterns +=
+                    static_cast<std::size_t>(std::popcount(any_diff));
+                c.patterns += batch;
+              });
+  });
 
-  std::size_t wrong_bits = 0;
-  std::size_t wrong_patterns = 0;
-  std::size_t total_patterns = 0;
-
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::size_t batch =
-        std::min<std::size_t>(64, patterns - total_patterns);
-    const std::uint64_t mask =
-        batch == 64 ? ~0ULL : ((1ULL << batch) - 1);
-    for (auto& word : src) word = rng();
-    sg.eval(src, out_g);
-    sd.eval(src, out_d);
-    std::uint64_t any_diff = 0;
-    for (std::size_t i = 0; i < out_g.size(); ++i) {
-      const std::uint64_t diff = (out_g[i] ^ out_d[i]) & mask;
-      wrong_bits += static_cast<std::size_t>(std::popcount(diff));
-      any_diff |= diff;
-    }
-    wrong_patterns += static_cast<std::size_t>(std::popcount(any_diff));
-    total_patterns += batch;
+  std::size_t wrong_bits = 0, wrong_patterns = 0, total_patterns = 0;
+  for (const auto& c : counts) {
+    wrong_bits += c.wrong_bits;
+    wrong_patterns += c.wrong_patterns;
+    total_patterns += c.patterns;
   }
 
   ErrorRates r;
@@ -155,24 +196,30 @@ bool equivalent(const Netlist& a, const Netlist& b, std::size_t patterns,
 }
 
 std::vector<double> toggle_rates(const Netlist& nl, std::size_t patterns,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, std::size_t jobs) {
   Simulator s(nl);
-  util::Rng rng(seed);
-  const std::size_t words = words_for(patterns);
-  std::vector<std::uint64_t> src(s.num_sources());
-  std::vector<std::uint64_t> out;
   std::vector<std::size_t> ones(nl.num_nets(), 0);
   std::size_t total = 0;
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::size_t batch = std::min<std::size_t>(64, patterns - total);
-    const std::uint64_t mask = batch == 64 ? ~0ULL : ((1ULL << batch) - 1);
-    for (auto& word : src) word = rng();
-    s.eval(src, out);
-    const auto& vals = s.net_values();
-    for (NetId n = 0; n < nl.num_nets(); ++n)
-      ones[n] += static_cast<std::size_t>(std::popcount(vals[n] & mask));
-    total += batch;
-  }
+  std::mutex merge;
+  const std::size_t blocks = blocks_for(patterns);
+  util::parallel_for(jobs, blocks, [&](std::size_t b) {
+    std::vector<std::uint64_t> src(s.num_sources());
+    std::vector<std::uint64_t> out, vals;
+    std::vector<std::size_t> local(nl.num_nets(), 0);
+    std::size_t local_total = 0;
+    run_block(b, patterns, seed, src,
+              [&](std::size_t batch, std::uint64_t mask) {
+                s.eval(src, out, vals);
+                for (NetId n = 0; n < nl.num_nets(); ++n)
+                  local[n] +=
+                      static_cast<std::size_t>(std::popcount(vals[n] & mask));
+                local_total += batch;
+              });
+    // Integer sums commute, so the merge order cannot leak into the rates.
+    const std::lock_guard<std::mutex> g(merge);
+    for (NetId n = 0; n < nl.num_nets(); ++n) ones[n] += local[n];
+    total += local_total;
+  });
   std::vector<double> act(nl.num_nets(), 0.0);
   if (total == 0) return act;
   for (NetId n = 0; n < nl.num_nets(); ++n) {

@@ -11,6 +11,15 @@
 // core comparison and is well-defined here because the randomization defense
 // never adds or removes cells — original and erroneous netlists always have
 // identical DFF sets.
+//
+// Block parallelism: compare() and toggle_rates() group pattern words into
+// fixed-size blocks (kPatternsPerBlock patterns each). Every block draws its
+// stimuli from an independent RNG stream seeded with util::task_seed(seed,
+// block_index) and evaluates through its own value buffers, so blocks can
+// run concurrently on a thread pool; per-block popcounts are reduced in
+// block-index order afterwards. The block partition is a function of the
+// pattern count alone — never of `jobs` — so results are bit-identical for
+// any worker count.
 #pragma once
 
 #include "netlist/netlist.hpp"
@@ -40,7 +49,15 @@ class Simulator {
   void eval(const std::vector<std::uint64_t>& source_words,
             std::vector<std::uint64_t>& observer_words) const;
 
-  /// Net values from the most recent eval() (indexed by NetId).
+  /// Same, but through a caller-owned per-net value buffer (resized to
+  /// num_nets() on entry). Concurrent eval() calls on one Simulator are safe
+  /// exactly when every thread passes its own buffer — this is the overload
+  /// the block-parallel compare()/toggle_rates() paths use.
+  void eval(const std::vector<std::uint64_t>& source_words,
+            std::vector<std::uint64_t>& observer_words,
+            std::vector<std::uint64_t>& values) const;
+
+  /// Net values from the most recent buffer-less eval() (indexed by NetId).
   const std::vector<std::uint64_t>& net_values() const { return values_; }
 
  private:
@@ -59,12 +76,18 @@ struct ErrorRates {
   std::size_t patterns = 0;
 };
 
+/// Patterns per RNG block of compare()/toggle_rates(). Fixed — the block
+/// partition (and therefore every metric) must not depend on `jobs`.
+inline constexpr std::size_t kPatternsPerBlock = 4096;
+
 /// Compare two netlists with `patterns` random stimuli (rounded up to a
 /// multiple of 64). Requires matching source/observer counts (the
 /// randomization defense preserves them). Throws std::invalid_argument
-/// otherwise.
+/// otherwise. `jobs` shards the pattern blocks over worker threads
+/// (0 = hardware concurrency); results are bit-identical for any value.
 ErrorRates compare(const netlist::Netlist& golden, const netlist::Netlist& dut,
-                   std::size_t patterns, std::uint64_t seed);
+                   std::size_t patterns, std::uint64_t seed,
+                   std::size_t jobs = 1);
 
 /// True when `patterns` random stimuli produce identical observer responses.
 /// (Simulation-based equivalence; exhaustive when the netlist has <= 20
@@ -74,8 +97,10 @@ bool equivalent(const netlist::Netlist& a, const netlist::Netlist& b,
 
 /// Per-net switching activity estimate: 2*p*(1-p) where p is the signal
 /// probability measured over `patterns` random stimuli. Used for dynamic
-/// power in sm::timing.
+/// power in sm::timing. `jobs` as in compare(); the per-net one-counts are
+/// integer sums over blocks, so any merge order yields identical rates.
 std::vector<double> toggle_rates(const netlist::Netlist& nl,
-                                 std::size_t patterns, std::uint64_t seed);
+                                 std::size_t patterns, std::uint64_t seed,
+                                 std::size_t jobs = 1);
 
 }  // namespace sm::sim

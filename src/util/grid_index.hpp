@@ -1,0 +1,183 @@
+// Spatial bucket-grid index over a fixed 2-D point set.
+//
+// Built once from a vector of points, the index answers nearest-neighbour
+// style queries by enumerating uniform grid cells in expanding Chebyshev
+// rings around the query. Callers that rank by a metric other than plain
+// Manhattan distance (e.g. the proximity attack's pair_cost) drive the
+// enumeration through for_each_ring and stop it with a lower bound: after
+// ring r, every unvisited point provably lies at Manhattan distance >=
+// the bound handed to keep_expanding, so a caller whose cost is bounded
+// below by a monotone function of that distance can terminate exactly —
+// the result equals a brute-force scan, only without touching most points.
+//
+// Determinism: enumeration order within a query depends only on the point
+// set and the query (cell-major within a ring, insertion order within a
+// cell) — never on threads — so parallel per-query use is safe and
+// reproducible. The index itself is immutable after construction and may
+// be shared across threads.
+#pragma once
+
+#include "util/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sm::util {
+
+class GridIndex {
+ public:
+  GridIndex() = default;
+
+  /// Index `pts`; `target_per_cell` tunes the expected bucket occupancy
+  /// (cells ~ n / target_per_cell). Degenerate inputs — empty sets, all
+  /// points coincident, zero-area bounding boxes — collapse to a 1x1 grid
+  /// and stay fully functional.
+  explicit GridIndex(const std::vector<Point>& pts,
+                     double target_per_cell = 4.0)
+      : pts_(pts) {
+    if (pts_.empty()) return;
+    Rect bbox = Rect::around(pts_.front());
+    for (const auto& p : pts_) bbox.expand(p);
+    origin_ = bbox.lo;
+    const double n = static_cast<double>(pts_.size());
+    const double cells = std::max(1.0, n / std::max(target_per_cell, 1.0));
+    const double w = std::max(bbox.width(), 1e-9);
+    const double h = std::max(bbox.height(), 1e-9);
+    // Clamp each dimension: a degenerate bounding box (all points nearly
+    // collinear) would otherwise push one axis toward millions of cells,
+    // making ring enumeration quadratic in the ring count and the CSR
+    // arrays enormous. The cap keeps nx*ny within a small factor of the
+    // target cell count while preserving the aspect-ratio split for sane
+    // geometries.
+    const std::int64_t dim_cap = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(8.0 * std::sqrt(cells)));
+    nx_ = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::sqrt(cells * w / h)), 1, dim_cap);
+    ny_ = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::sqrt(cells * h / w)), 1, dim_cap);
+    csx_ = w / static_cast<double>(nx_);
+    csy_ = h / static_cast<double>(ny_);
+
+    // CSR layout: counting sort of point indices by cell keeps per-cell
+    // enumeration in point-index order (the determinism anchor for ties).
+    std::vector<std::size_t> count(static_cast<std::size_t>(nx_ * ny_) + 1, 0);
+    std::vector<std::size_t> cell_of(pts_.size());
+    for (std::size_t i = 0; i < pts_.size(); ++i) {
+      cell_of[i] = cell_id(cell_x(pts_[i].x), cell_y(pts_[i].y));
+      ++count[cell_of[i] + 1];
+    }
+    for (std::size_t c = 1; c < count.size(); ++c) count[c] += count[c - 1];
+    start_ = count;
+    ids_.resize(pts_.size());
+    for (std::size_t i = 0; i < pts_.size(); ++i) ids_[count[cell_of[i]]++] = i;
+  }
+
+  std::size_t size() const noexcept { return pts_.size(); }
+  bool empty() const noexcept { return pts_.empty(); }
+
+  /// Visit points in expanding rings around `q`. `visit(index)` is called
+  /// exactly once per point reached. After each ring, `keep_expanding(lb)`
+  /// is consulted with a proven lower bound on the Manhattan distance from
+  /// `q` to every not-yet-visited point; returning false stops the query.
+  /// The enumeration also stops once every cell has been visited.
+  template <class Visit, class KeepExpanding>
+  void for_each_ring(const Point& q, Visit&& visit,
+                     KeepExpanding&& keep_expanding) const {
+    if (pts_.empty()) return;
+    const std::int64_t cx = cell_x(q.x);
+    const std::int64_t cy = cell_y(q.y);
+    const std::int64_t max_ring =
+        std::max(std::max(cx, nx_ - 1 - cx), std::max(cy, ny_ - 1 - cy));
+    for (std::int64_t r = 0; r <= max_ring; ++r) {
+      const std::int64_t x0 = std::max<std::int64_t>(0, cx - r);
+      const std::int64_t x1 = std::min(nx_ - 1, cx + r);
+      const std::int64_t y0 = std::max<std::int64_t>(0, cy - r);
+      const std::int64_t y1 = std::min(ny_ - 1, cy + r);
+      for (std::int64_t y = y0; y <= y1; ++y) {
+        const bool edge_row = (y == cy - r || y == cy + r);
+        const std::int64_t step = edge_row ? 1 : std::max<std::int64_t>(1, x1 - x0);
+        for (std::int64_t x = x0; x <= x1; x += step) {
+          if (!edge_row && x != cx - r && x != cx + r) continue;
+          const std::size_t c = cell_id(x, y);
+          for (std::size_t k = start_[c]; k < start_[c + 1]; ++k)
+            visit(ids_[k]);
+        }
+      }
+      if (r == max_ring) return;  // every cell visited; bound is +infinity
+      if (!keep_expanding(ring_lower_bound(q, cx, cy, r))) return;
+    }
+  }
+
+  /// The `k` nearest points to `q` ordered by (Manhattan distance, index);
+  /// exact, ties broken toward the lower index. Returns all points when
+  /// k >= size().
+  std::vector<std::size_t> k_nearest(const Point& q, std::size_t k) const {
+    std::vector<std::pair<double, std::size_t>> best;
+    if (k == 0) return {};
+    for_each_ring(
+        q,
+        [&](std::size_t i) { best.push_back({manhattan(q, pts_[i]), i}); },
+        [&](double lb) {
+          if (best.size() < k) return true;
+          std::nth_element(best.begin(),
+                           best.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                           best.end());
+          // `<=` keeps expanding on exact ties so a lower-index point in an
+          // outer ring can still displace an equal-distance one.
+          return lb <= best[k - 1].first;
+        });
+    std::sort(best.begin(), best.end());
+    if (best.size() > k) best.resize(k);
+    std::vector<std::size_t> out;
+    out.reserve(best.size());
+    for (const auto& [d, i] : best) out.push_back(i);
+    return out;
+  }
+
+ private:
+  std::int64_t cell_x(double x) const noexcept {
+    return std::clamp<std::int64_t>(
+        static_cast<std::int64_t>((x - origin_.x) / csx_), 0, nx_ - 1);
+  }
+  std::int64_t cell_y(double y) const noexcept {
+    return std::clamp<std::int64_t>(
+        static_cast<std::int64_t>((y - origin_.y) / csy_), 0, ny_ - 1);
+  }
+  std::size_t cell_id(std::int64_t x, std::int64_t y) const noexcept {
+    return static_cast<std::size_t>(y * nx_ + x);
+  }
+
+  /// Manhattan distance from `q` to the nearest point outside the box of
+  /// cells [cx-r, cx+r] x [cy-r, cy+r] (clipped to the grid): every point
+  /// not yet visited after ring r lies out there. Conservative (never
+  /// larger than the true distance), which preserves query exactness.
+  double ring_lower_bound(const Point& q, std::int64_t cx, std::int64_t cy,
+                          std::int64_t r) const noexcept {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    double lb = kInf;
+    if (cx - r > 0)  // unvisited cells exist to the left
+      lb = std::min(lb, q.x - (origin_.x + static_cast<double>(cx - r) * csx_));
+    if (cx + r < nx_ - 1)
+      lb = std::min(lb,
+                    origin_.x + static_cast<double>(cx + r + 1) * csx_ - q.x);
+    if (cy - r > 0)
+      lb = std::min(lb, q.y - (origin_.y + static_cast<double>(cy - r) * csy_));
+    if (cy + r < ny_ - 1)
+      lb = std::min(lb,
+                    origin_.y + static_cast<double>(cy + r + 1) * csy_ - q.y);
+    return std::max(0.0, lb);  // q may sit outside the grid entirely
+  }
+
+  std::vector<Point> pts_;
+  Point origin_;
+  std::int64_t nx_ = 1, ny_ = 1;
+  double csx_ = 1.0, csy_ = 1.0;
+  std::vector<std::size_t> start_;  ///< CSR cell offsets (nx*ny + 1)
+  std::vector<std::size_t> ids_;    ///< point indices grouped by cell
+};
+
+}  // namespace sm::util

@@ -3,8 +3,11 @@
 // predictable — nearest-pairing, capacity limits, loop refusal, completion.
 #include "attack/proximity.hpp"
 #include "core/split.hpp"
+#include "util/rng.hpp"
 
 #include <gtest/gtest.h>
+
+#include <limits>
 
 namespace {
 
@@ -229,6 +232,150 @@ TEST(AttackUnits, LoadBudgetTracksSinkCapacitance) {
   };
   EXPECT_EQ(correct_with_sinks("BUF_X8"), 2u);
   EXPECT_EQ(correct_with_sinks("INV_X1"), 1u);
+}
+
+/// Randomized many-fragment view for the spatial-index and sharding tests:
+/// `nd` PI-driven nets (open driver fragments) and `nsk` INV sinks (open
+/// sink fragments, true driver = net j % nd), fragments scattered uniformly
+/// with 1-3 vpins each (random offsets exercise the index's spread slack,
+/// random stub directions the cost lower bound).
+struct RandomRig {
+  CellLibrary lib;
+  Netlist nl;
+  place::Placement pl;
+  SplitView view;
+
+  RandomRig(std::size_t nd, std::size_t nsk, std::uint64_t seed)
+      : nl(lib, "randrig") {
+    sm::util::Rng rng(seed);
+    std::vector<NetId> nets;
+    for (std::size_t i = 0; i < nd; ++i)
+      nets.push_back(nl.add_primary_input("a" + std::to_string(i)));
+    std::vector<CellId> cells;
+    for (std::size_t j = 0; j < nsk; ++j) {
+      const CellId c = nl.add_cell("g" + std::to_string(j), lib.id_of("INV_X1"));
+      nl.connect_input(c, 0, nets[j % nd]);
+      nl.add_primary_output("y" + std::to_string(j), nl.cell(c).output);
+      cells.push_back(c);
+    }
+    pl.floorplan.die = {{0, 0}, {1000, 1000}};
+    pl.pos.assign(nl.num_cells(), {500, 500});
+
+    view.split_layer = 3;
+    auto fragment = [&](NetId net) {
+      Fragment f;
+      f.net = net;
+      f.anchor = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+      const int nv = static_cast<int>(rng.range(1, 3));
+      for (int v = 0; v < nv; ++v) {
+        const double x = f.anchor.x + rng.uniform(-20, 20);
+        const double y = f.anchor.y + rng.uniform(-20, 20);
+        VPin vp = vpin(x, y, static_cast<int>(rng.range(-1, 1)),
+                       static_cast<int>(rng.range(-1, 1)));
+        f.vpins.push_back(vp);
+      }
+      return f;
+    };
+    for (std::size_t i = 0; i < nd; ++i) {
+      Fragment f = fragment(nets[i]);
+      f.has_driver = true;
+      view.fragments.push_back(f);
+    }
+    for (std::size_t j = 0; j < nsk; ++j) {
+      Fragment f = fragment(nets[j % nd]);
+      f.sinks = {{cells[j], 0}};
+      view.fragments.push_back(f);
+    }
+  }
+};
+
+bool same_result(const attack::ProximityResult& a,
+                 const attack::ProximityResult& b) {
+  return a.open_sinks == b.open_sinks && a.matched == b.matched &&
+         a.correct == b.correct && a.protected_total == b.protected_total &&
+         a.protected_correct == b.protected_correct &&
+         a.rates.oer == b.rates.oer && a.rates.hd == b.rates.hd &&
+         a.rates.patterns == b.rates.patterns;
+}
+
+TEST(AttackUnits, SpatialIndexMatchesBruteForce) {
+  // The ISSUE-4 contract: indexed candidate generation returns the same
+  // (pair_cost, driver) ranking as the all-pairs scan, so the whole attack
+  // result — matching and simulated OER/HD — is bit-identical.
+  for (const std::uint64_t seed : {3u, 17u, 99u}) {
+    RandomRig rig(120, 150, seed);
+    attack::ProximityOptions opts;
+    opts.eval_patterns = 256;
+    opts.candidates_per_sink = 8;
+    auto run = [&](int threshold) {
+      opts.index_min_drivers = threshold;
+      return attack::proximity_attack(rig.nl, rig.nl, rig.pl, rig.view,
+                                      nullptr, opts);
+    };
+    const auto brute = run(std::numeric_limits<int>::max());
+    const auto indexed = run(0);
+    EXPECT_TRUE(same_result(brute, indexed)) << "seed " << seed;
+    EXPECT_EQ(brute.open_sinks, 150u);
+  }
+}
+
+TEST(AttackUnits, SpatialIndexMatchesBruteForceWithDiagonalStubsLowBonus) {
+  // Regression for the pruning bound: RandomRig emits diagonal stub
+  // directions, whose cosine against the unnormalized dir vector reaches
+  // sqrt(2) — a floor derived from cos <= 1 over-prunes once
+  // direction_bonus drops. The sound floor is 1 - (1-bonus)*sqrt(2).
+  for (const double bonus : {0.3, 0.45, 0.6}) {
+    for (const std::uint64_t seed : {5u, 23u, 41u, 77u}) {
+      RandomRig rig(120, 150, seed);
+      attack::ProximityOptions opts;
+      opts.eval_patterns = 256;
+      opts.candidates_per_sink = 8;
+      opts.direction_bonus = bonus;
+      auto run = [&](int threshold) {
+        opts.index_min_drivers = threshold;
+        return attack::proximity_attack(rig.nl, rig.nl, rig.pl, rig.view,
+                                        nullptr, opts);
+      };
+      EXPECT_TRUE(
+          same_result(run(std::numeric_limits<int>::max()), run(0)))
+          << "bonus " << bonus << " seed " << seed;
+    }
+  }
+}
+
+TEST(AttackUnits, SpatialIndexMatchesBruteForceWithAllHints) {
+  RandomRig rig(100, 100, 7);
+  attack::ProximityOptions opts;
+  opts.eval_patterns = 256;
+  opts.candidates_per_sink = 6;
+  opts.use_strength_prior = true;  // exercises the prior term of the bound
+  opts.anchor_weight = 0.1;        // and the anchor term
+  auto run = [&](int threshold) {
+    opts.index_min_drivers = threshold;
+    return attack::proximity_attack(rig.nl, rig.nl, rig.pl, rig.view, nullptr,
+                                    opts);
+  };
+  EXPECT_TRUE(
+      same_result(run(std::numeric_limits<int>::max()), run(0)));
+}
+
+TEST(AttackUnits, JobsDoNotChangeResults) {
+  // ISSUE-4 acceptance: N-job attack bit-identical to 1 job, with the
+  // spatial index active (threshold 0) and inactive.
+  RandomRig rig(90, 120, 21);
+  attack::ProximityOptions opts;
+  opts.eval_patterns = 9000;  // spans multiple sim blocks
+  opts.candidates_per_sink = 8;
+  for (const int threshold : {0, std::numeric_limits<int>::max()}) {
+    opts.index_min_drivers = threshold;
+    opts.jobs = 1;
+    const auto serial =
+        attack::proximity_attack(rig.nl, rig.nl, rig.pl, rig.view, nullptr, opts);
+    opts.jobs = 4;
+    const auto parallel =
+        attack::proximity_attack(rig.nl, rig.nl, rig.pl, rig.view, nullptr, opts);
+    EXPECT_TRUE(same_result(serial, parallel)) << "threshold " << threshold;
+  }
 }
 
 TEST(AttackUnits, EmptyViewIsPerfectScore) {

@@ -1,0 +1,126 @@
+// GridIndex correctness: exact k-nearest (vs a brute-force scan with the
+// same (distance, index) tie-break) on randomized point sets, expanding-ring
+// lower-bound soundness, and degenerate grids (empty, single point, all
+// points coincident, collinear boxes, queries far outside the bbox).
+#include "util/grid_index.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace {
+
+using sm::util::GridIndex;
+using sm::util::Point;
+using sm::util::manhattan;
+
+std::vector<std::size_t> brute_k_nearest(const std::vector<Point>& pts,
+                                         const Point& q, std::size_t k) {
+  std::vector<std::pair<double, std::size_t>> all;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    all.push_back({manhattan(q, pts[i]), i});
+  std::sort(all.begin(), all.end());
+  all.resize(std::min(k, all.size()));
+  std::vector<std::size_t> out;
+  for (const auto& [d, i] : all) out.push_back(i);
+  return out;
+}
+
+std::vector<Point> random_points(std::size_t n, std::uint64_t seed,
+                                 double lo = 0.0, double hi = 500.0) {
+  sm::util::Rng rng(seed);
+  std::vector<Point> pts(n);
+  for (auto& p : pts) p = {rng.uniform(lo, hi), rng.uniform(lo, hi)};
+  return pts;
+}
+
+TEST(GridIndex, KNearestMatchesBruteForceOnRandomSets) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto pts = random_points(400, seed);
+    const GridIndex index(pts);
+    sm::util::Rng rng(seed ^ 0xfeedULL);
+    for (int trial = 0; trial < 50; ++trial) {
+      const Point q{rng.uniform(-50, 550), rng.uniform(-50, 550)};
+      for (const std::size_t k : {1u, 5u, 16u, 64u}) {
+        EXPECT_EQ(index.k_nearest(q, k), brute_k_nearest(pts, q, k))
+            << "seed " << seed << " trial " << trial << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(GridIndex, ExactOnDuplicatePointsViaIndexTieBreak) {
+  // Many coincident points: distances tie, so the (distance, index) order
+  // must fall back to point indices — and must agree with brute force.
+  std::vector<Point> pts(20, Point{10, 10});
+  pts.push_back({11, 10});
+  pts.push_back({9, 10});
+  const GridIndex index(pts);
+  EXPECT_EQ(index.k_nearest({10, 10}, 5), brute_k_nearest(pts, {10, 10}, 5));
+  EXPECT_EQ(index.k_nearest({12, 10}, 3), brute_k_nearest(pts, {12, 10}, 3));
+}
+
+TEST(GridIndex, DegenerateGeometries) {
+  // Empty.
+  const GridIndex empty((std::vector<Point>()));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.k_nearest({0, 0}, 4).empty());
+
+  // Single point.
+  const GridIndex one(std::vector<Point>{{3, 4}});
+  EXPECT_EQ(one.k_nearest({0, 0}, 4), (std::vector<std::size_t>{0}));
+
+  // Zero-area bbox: all points on one vertical line.
+  std::vector<Point> line;
+  for (int i = 0; i < 64; ++i) line.push_back({7.0, static_cast<double>(i)});
+  const GridIndex li(line);
+  EXPECT_EQ(li.k_nearest({7, 31.4}, 3), brute_k_nearest(line, {7, 31.4}, 3));
+  EXPECT_EQ(li.k_nearest({100, 0}, 5), brute_k_nearest(line, {100, 0}, 5));
+}
+
+TEST(GridIndex, KLargerThanSizeReturnsEverythingSorted) {
+  const auto pts = random_points(10, 9);
+  const GridIndex index(pts);
+  const auto all = index.k_nearest({250, 250}, 100);
+  EXPECT_EQ(all, brute_k_nearest(pts, {250, 250}, 100));
+  EXPECT_EQ(all.size(), pts.size());
+  EXPECT_TRUE(index.k_nearest({250, 250}, 0).empty());
+}
+
+TEST(GridIndex, RingEnumerationVisitsEveryPointOnce) {
+  const auto pts = random_points(257, 4);
+  const GridIndex index(pts);
+  std::vector<int> seen(pts.size(), 0);
+  index.for_each_ring(
+      {250, 250}, [&](std::size_t i) { ++seen[i]; },
+      [](double) { return true; });
+  for (const int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(GridIndex, RingLowerBoundIsSound) {
+  // Every point visited after keep_expanding(lb) returned true must lie at
+  // Manhattan distance >= the lb reported before its ring — otherwise a
+  // pruned query could miss a closer point.
+  const auto pts = random_points(300, 12);
+  const GridIndex index(pts);
+  sm::util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q{rng.uniform(0, 500), rng.uniform(0, 500)};
+    double promised = 0.0;  // strongest bound issued so far
+    index.for_each_ring(
+        q,
+        [&](std::size_t i) {
+          EXPECT_GE(manhattan(q, pts[i]), promised - 1e-9);
+        },
+        [&](double lb) {
+          EXPECT_GE(lb, promised - 1e-9);  // bounds only tighten
+          promised = lb;
+          return true;
+        });
+  }
+}
+
+}  // namespace

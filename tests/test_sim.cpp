@@ -174,6 +174,43 @@ TEST_F(SimTest, ToggleRatesBounded) {
   EXPECT_GT(max_act, 0.3);  // PIs toggle near 0.5
 }
 
+TEST_F(SimTest, CompareJobsBitIdentical) {
+  // XOR vs AND agree only on a stream-dependent subset of patterns, so this
+  // actually exercises the per-block task_seed streams: any leak of the
+  // worker count into the stimuli would move OER/HD.
+  CellLibrary l;
+  auto build = [&](const char* type) {
+    Netlist nl(l, type);
+    const NetId i0 = nl.add_primary_input("i0");
+    const NetId i1 = nl.add_primary_input("i1");
+    const CellId g = nl.add_cell("g", l.id_of(type));
+    nl.connect_input(g, 0, i0);
+    nl.connect_input(g, 1, i1);
+    nl.add_primary_output("y", nl.cell(g).output);
+    return nl;
+  };
+  const auto a = build("XOR2_X1");
+  const auto b = build("AND2_X1");
+  // 9000 patterns spans two full 4096-pattern blocks plus a partial one.
+  const auto r1 = sm::sim::compare(a, b, 9000, 7, 1);
+  const auto r4 = sm::sim::compare(a, b, 9000, 7, 4);
+  EXPECT_EQ(r1.patterns, 9000u);
+  EXPECT_EQ(r1.patterns, r4.patterns);
+  EXPECT_EQ(r1.oer, r4.oer);  // bitwise: the contract is identity, not NEAR
+  EXPECT_EQ(r1.hd, r4.hd);
+  EXPECT_GT(r1.oer, 0.0);  // the rig is genuinely stream-sensitive
+  EXPECT_LT(r1.oer, 1.0);
+}
+
+TEST_F(SimTest, ToggleRatesJobsBitIdentical) {
+  CellLibrary l;
+  const auto nl = sm::workloads::generate(l, sm::workloads::iscas85_profile("c880"), 2);
+  const auto act1 = sm::sim::toggle_rates(nl, 20000, 5, 1);
+  const auto act4 = sm::sim::toggle_rates(nl, 20000, 5, 4);
+  ASSERT_EQ(act1.size(), act4.size());
+  for (std::size_t n = 0; n < act1.size(); ++n) EXPECT_EQ(act1[n], act4[n]);
+}
+
 TEST_F(SimTest, DeterministicAcrossRuns) {
   CellLibrary l;
   const auto nl = sm::workloads::generate(l, sm::workloads::iscas85_profile("c1355"), 8);
