@@ -95,6 +95,50 @@ void BM_Route(benchmark::State& state) {
   }
 }
 
+// Router throughput on a full placed netlist through the round-based
+// snapshot-commit PathFinder. RouteNets is the serial baseline;
+// RouteNetsJobs shards each negotiation chunk over N workers — routes are
+// bit-identical across all of them (tests/test_route.cpp), only the wall
+// time moves. The fine gcell and extra passes make negotiation do real
+// rip-up work, which is the stage the sharding targets.
+struct RouteRig {
+  netlist::Netlist nl;
+  place::Placement pl;
+  std::vector<route::RouteTask> tasks;
+
+  static const RouteRig& instance() {
+    static RouteRig rig = [] {
+      auto nl = make_bench("c2670");
+      place::Placer placer;
+      auto pl = placer.place(nl);
+      auto tasks = route::make_tasks(nl, pl);
+      return RouteRig{std::move(nl), std::move(pl), std::move(tasks)};
+    }();
+    return rig;
+  }
+};
+
+void route_nets(benchmark::State& state, std::size_t jobs) {
+  const auto& rig = RouteRig::instance();
+  route::RouterOptions opts;
+  opts.gcell_um = 1.4;
+  opts.passes = 4;
+  opts.jobs = jobs;
+  route::Router router(opts);
+  for (auto _ : state) {
+    const auto r = router.route(rig.tasks, rig.pl.floorplan.die, lib().metal());
+    benchmark::DoNotOptimize(r.stats.total_vias());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rig.tasks.size()));
+}
+
+void BM_RouteNets(benchmark::State& state) { route_nets(state, 1); }
+
+void BM_RouteNetsJobs(benchmark::State& state) {
+  route_nets(state, static_cast<std::size_t>(state.range(0)));
+}
+
 void BM_ProximityAttack(benchmark::State& state) {
   const auto nl = make_bench("c880");
   core::FlowOptions flow;
@@ -182,6 +226,9 @@ BENCHMARK(BM_CompareThroughputJobs)->Arg(1)->Arg(2)->Arg(4);
 BENCHMARK(BM_Randomize);
 BENCHMARK(BM_Place);
 BENCHMARK(BM_Route);
+BENCHMARK(BM_RouteNets)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RouteNetsJobs)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 BENCHMARK(BM_ProximityAttack);
 BENCHMARK(BM_AttackCandidatesBrute)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AttackCandidatesIndexed)->Unit(benchmark::kMillisecond);

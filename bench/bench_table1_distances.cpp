@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
     const auto spec = workloads::superblue_profile(names[i], suite.scale);
     netlist::CellLibrary lib{8};
     const auto nl = workloads::generate(lib, spec, suite.seed);
-    const auto flow = bench::superblue_flow(suite.seed, spec);
+    const auto flow =
+        bench::apply_layout_flags(bench::superblue_flow(suite.seed, spec), suite);
 
     const auto design =
         core::protect(nl, bench::default_randomize(suite.seed), flow);

@@ -64,7 +64,8 @@ int main(int argc, char** argv) {
     netlist::CellLibrary lib{6};
     const auto nl = workloads::generate(
         lib, workloads::iscas85_profile(names[i]), suite.seed);
-    const auto flow = bench::iscas_flow(suite.seed);
+    const auto flow =
+        bench::apply_layout_flags(bench::iscas_flow(suite.seed), suite);
     PerBench& r = results[i];
 
     const auto original = core::layout_original(nl, flow);

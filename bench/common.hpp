@@ -19,6 +19,19 @@
 //                   --jobs when sweeping many benchmarks and --attack-jobs
 //                   when drilling into one large instance — combining both
 //                   oversubscribes the machine.
+//   --route-jobs=<n>   worker threads inside each router run (negotiation
+//                   rounds shard their net re-routes); default 1, routes
+//                   bit-identical for any value. Same stacking caveat as
+//                   --attack-jobs.
+//   --route-passes=<n>   router rip-up-and-reroute rounds (default: the
+//                   suite tuning, currently 3)
+//   --detailed-passes=<n>  placer greedy-swap refinement sweeps (default:
+//                   the per-suite tuning, 2 ISCAS / 1 superblue)
+//
+//   The three layout-engine flags are applied via apply_layout_flags(),
+//   currently wired into the table 1/4/5 benches — the remaining benches
+//   parse but ignore them (like --jobs on the serial benches; see
+//   docs/CLI.md for the wiring status).
 #pragma once
 
 #include "core/baselines.hpp"
@@ -31,6 +44,7 @@
 #include "workloads/generator.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,6 +57,9 @@ struct SuiteOptions {
   bool quick = false;
   std::size_t jobs = 1;         ///< threads for the benchmark loop; 0 = hw
   std::size_t attack_jobs = 1;  ///< threads inside each proximity attack
+  std::size_t route_jobs = 1;   ///< threads inside each router run
+  std::size_t route_passes = 0; ///< router negotiation rounds; 0 = suite default
+  int detailed_passes = -1;     ///< placer refinement sweeps; -1 = suite default
   std::vector<std::string> only;  ///< benchmark filter (empty = all)
 };
 
@@ -56,8 +73,29 @@ inline SuiteOptions parse_suite(int argc, const char* const* argv) {
   s.quick = args.get_bool("quick", false);
   s.jobs = args.get_count("jobs", 1);
   s.attack_jobs = args.get_count("attack-jobs", 1);
+  s.route_jobs = args.get_count("route-jobs", 1);
+  if (args.has("route-passes")) {
+    s.route_passes = args.get_count("route-passes", 0);
+    if (s.route_passes == 0)
+      throw std::invalid_argument("bench: --route-passes must be >= 1");
+  }
+  if (args.has("detailed-passes"))
+    s.detailed_passes =
+        static_cast<int>(args.get_count("detailed-passes", 0));
   s.only = util::split_list(args.get("benchmarks", ""));
   return s;
+}
+
+/// Apply the layout-engine flags (--route-passes / --route-jobs /
+/// --detailed-passes) on top of a suite's tuned FlowOptions. Unset flags
+/// keep the suite tuning (sentinels 0 / -1), so retuning a suite default
+/// can never be silently undone by a flag nobody passed.
+inline core::FlowOptions apply_layout_flags(core::FlowOptions f,
+                                            const SuiteOptions& s) {
+  if (s.route_passes > 0) f.router.passes = static_cast<int>(s.route_passes);
+  f.router.jobs = s.route_jobs;
+  if (s.detailed_passes >= 0) f.placer.detailed_passes = s.detailed_passes;
+  return f;
 }
 
 /// Run body(i) for every picked benchmark index over suite.jobs threads.

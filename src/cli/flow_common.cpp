@@ -25,7 +25,6 @@ FlowSetup parse_setup(const util::Args& args) {
   // Same flow tuning the benches use (bench/common.hpp): M6 pins for ISCAS,
   // M8 for superblue, utilization derated for a congestion-free router.
   s.flow.seed = s.seed;
-  s.flow.router.passes = 3;
   s.flow.placer.seed = s.seed;
   if (s.superblue) {
     s.flow.lift_layer = 8;
@@ -39,6 +38,20 @@ FlowSetup parse_setup(const util::Args& args) {
   s.flow.lift_layer =
       static_cast<int>(args.get_int("lift-layer", s.flow.lift_layer));
   s.flow.buffering = args.get_bool("buffering", false);
+
+  // Layout-engine knobs, strictly validated like the sweep's numeric flags
+  // (get_count throws on anything but plain digits). --jobs shards the
+  // router's negotiation rounds — and, for attack/report, the attack
+  // phases too; the phases run one after another, so this never stacks
+  // thread pools. All results are bit-identical for any --jobs value.
+  s.flow.router.jobs = args.get_count("jobs", 1);
+  const std::size_t route_passes = args.get_count("route-passes", 3);
+  if (route_passes == 0)
+    throw std::invalid_argument("--route-passes must be >= 1");
+  s.flow.router.passes = static_cast<int>(route_passes);
+  if (args.has("detailed-passes"))
+    s.flow.placer.detailed_passes =
+        static_cast<int>(args.get_count("detailed-passes", 0));
 
   s.rand_opts.seed = s.seed;
   s.rand_opts.target_oer = s.target_oer;

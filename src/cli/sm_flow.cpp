@@ -45,6 +45,8 @@ int usage(std::FILE* to) {
       "            [--out-verilog=F] erroneous netlist  [--out-def=F] layout\n"
       "  split     cut the layout, print FEOL fragment/vpin statistics\n"
       "            [--out-def=F] FEOL-only DEF with VPINS  [--unprotected]\n"
+      "            (both: --jobs shards the router; layouts are\n"
+      "            bit-identical for any --jobs value)\n"
       "  attack    proximity attack on the FEOL; CCR/OER/HD\n"
       "            [--unprotected] [--no-direction] [--no-load] [--no-loops]\n"
       "            [--candidates=N] [--jobs=N] [--index-threshold=N]\n"
@@ -68,7 +70,11 @@ int usage(std::FILE* to) {
       "  --lift-layer=N   correction-cell pin layer (default M6/M8)\n"
       "  --patterns=N     simulation patterns for OER/HD (default 100000)\n"
       "  --target-oer=F   randomization stop threshold (default 0.995)\n"
-      "  --buffering      enable post-placement drive-strength fixing\n",
+      "  --buffering      enable post-placement drive-strength fixing\n"
+      "  --jobs=N         worker threads (router rounds; attack phases for\n"
+      "                   attack/report; sweep tasks). 0 = hardware\n"
+      "  --route-passes=N router rip-up-and-reroute rounds (default 3)\n"
+      "  --detailed-passes=N  placer refinement sweeps (default M6 2, M8 1)\n",
       to);
   return to == stderr ? 2 : 0;
 }

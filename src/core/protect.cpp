@@ -1,6 +1,7 @@
 #include "core/protect.hpp"
 
 #include "core/equivalence.hpp"
+#include "core/pipeline.hpp"
 
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -15,26 +16,6 @@ using netlist::Netlist;
 using route::RouteTask;
 using route::Terminal;
 
-namespace {
-
-timing::PpaReport evaluate_ppa(const Netlist& nl, const LayoutResult& layout,
-                               const FlowOptions& opts,
-                               const std::vector<timing::NetExtra>& extra = {}) {
-  timing::Sta sta(opts.op);
-  const auto activity =
-      sim::toggle_rates(nl, opts.activity_patterns, opts.seed ^ 0xac7ULL);
-  return sta.analyze(nl, layout.placement, layout.routing, activity, extra);
-}
-
-route::RouterOptions tuned_router(const FlowOptions& opts,
-                                  const place::Floorplan& fp) {
-  route::RouterOptions r = opts.router;
-  r.gcell_um = tuned_gcell_um(opts, fp);
-  return r;
-}
-
-}  // namespace
-
 double tuned_gcell_um(const FlowOptions& opts, const place::Floorplan& fp) {
   if (!opts.auto_gcell) return opts.router.gcell_um;
   const double dim = std::max(fp.die.width(), fp.die.height());
@@ -42,33 +23,9 @@ double tuned_gcell_um(const FlowOptions& opts, const place::Floorplan& fp) {
 }
 
 LayoutResult layout_original(const Netlist& nl, const FlowOptions& opts) {
-  if (opts.buffering) {
-    // Buffering mutates the netlist; run on a copy and report against it.
-    Netlist sized = nl.clone();
-    LayoutResult out;
-    place::Placer placer(opts.placer);
-    out.placement = placer.place(sized);
-    place::insert_buffers(sized, out.placement, opts.buffering_opts);
-    place::legalize_rows(sized, out.placement);
-    out.tasks = route::make_tasks(sized, out.placement);
-    out.num_net_tasks = out.tasks.size();
-    route::Router router(tuned_router(opts, out.placement.floorplan));
-    out.routing = router.route(out.tasks, out.placement.floorplan.die,
-                               sized.library().metal());
-    out.ppa = evaluate_ppa(sized, out, opts);
-    out.sized_netlist = std::move(sized);
-    return out;
-  }
-  LayoutResult out;
-  place::Placer placer(opts.placer);
-  out.placement = placer.place(nl);
-  out.tasks = route::make_tasks(nl, out.placement);
-  out.num_net_tasks = out.tasks.size();
-  route::Router router(tuned_router(opts, out.placement.floorplan));
-  out.routing = router.route(out.tasks, out.placement.floorplan.die,
-                             nl.library().metal());
-  out.ppa = evaluate_ppa(nl, out, opts);
-  return out;
+  // The unprotected reference is exactly the staged pipeline, stage by
+  // stage: place (buffering included), then route + PPA.
+  return route_design(nl, place_design(nl, opts), opts);
 }
 
 NaiveLiftDesign layout_naive_lift(const Netlist& nl,

@@ -1,12 +1,14 @@
 #include "route/router.hpp"
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
-#include <queue>
-#include <stdexcept>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
 
 namespace sm::route {
 
@@ -69,21 +71,21 @@ RoutingStats collect_stats(const RouteGrid& grid,
 
 namespace {
 
-/// Shared search state with epoch-stamped per-search arrays so repeated A*
-/// runs cost O(visited), not O(grid).
-class Maze {
+/// Round-shared congestion state: committed usage, negotiation history,
+/// blockages, per-layer capacities, and the PathFinder pressure schedule.
+/// During a round's parallel re-route phase it is strictly read-only (the
+/// snapshot every Searcher prices against); all mutation — the greedy keep
+/// selection, usage commits, history bumps — happens single-threaded
+/// between rounds. That snapshot-commit discipline is what makes the
+/// router's output independent of RouterOptions::jobs.
+class CongestionState {
  public:
-  Maze(const RouteGrid& grid, const MetalStack& stack,
-       const RouterOptions& opts)
-      : grid_(&grid), stack_(&stack), opts_(&opts) {
+  CongestionState(const RouteGrid& grid, const MetalStack& stack,
+                  const RouterOptions& opts)
+      : grid_(&grid), opts_(&opts) {
     const std::size_t n = grid.num_nodes();
     usage_.assign(n, 0);
     history_.assign(n, 0.0f);
-    gscore_.assign(n, 0.0f);
-    parent_.assign(n, 0);
-    epoch_mark_.assign(n, 0);
-    closed_mark_.assign(n, 0);
-    target_mark_map_.assign(n, 0);
     cap_.resize(static_cast<std::size_t>(grid.layers()) + 1);
     for (int l = 1; l <= grid.layers(); ++l)
       cap_[static_cast<std::size_t>(l)] = grid.capacity(stack, l);
@@ -100,14 +102,20 @@ class Maze {
     }
   }
 
-  const RouteGrid& grid() const { return *grid_; }
-
   int capacity(int layer) const { return cap_[static_cast<std::size_t>(layer)]; }
   int usage_at(std::size_t idx) const { return usage_[idx]; }
+  bool blocked(std::size_t idx) const { return blocked_[idx] != 0; }
+
+  /// Would one more net through `idx` stay within the layer's capacity?
+  bool fits(std::size_t idx, int layer) const {
+    return usage_[idx] + 1 <= cap_[static_cast<std::size_t>(layer)];
+  }
 
   void add_usage(std::size_t idx, int delta) {
     usage_[idx] = static_cast<std::int32_t>(usage_[idx] + delta);
   }
+
+  void clear_usage() { std::fill(usage_.begin(), usage_.end(), 0); }
 
   /// PathFinder cost of stepping onto node `idx`. The present-overuse
   /// penalty grows with each negotiation round (set_pressure), the classic
@@ -139,16 +147,74 @@ class Maze {
     return n;
   }
 
-  /// A* from `start` to any node in `targets` (marked via target_mark_).
-  /// Layers below `min_layer` are off-limits. Returns the reached target
-  /// node or npos; parents_ encodes the path.
+ private:
+  const RouteGrid* grid_;
+  const RouterOptions* opts_;
+  std::vector<std::int32_t> usage_;
+  std::vector<float> history_;
+  std::vector<std::uint8_t> blocked_;
+  std::vector<int> cap_;
+  double pressure_ = 1.0;
+};
+
+/// Per-worker A* search state with epoch-stamped arrays, so repeated
+/// searches cost O(visited), not O(grid). Reads the round's frozen
+/// CongestionState and never writes it. Which worker's Searcher routes
+/// which net is scheduling-dependent but provably irrelevant: every search
+/// bumps its epoch first, so no state of any previous search (on this or
+/// any other net) is ever read.
+class Searcher {
+ public:
+  Searcher(const RouteGrid& grid, const MetalStack& stack,
+           const RouterOptions& opts, const CongestionState& cong)
+      : grid_(&grid), opts_(&opts), cong_(&cong) {
+    const std::size_t n = grid.num_nodes();
+    gscore_.assign(n, 0.0f);
+    parent_.assign(n, 0);
+    epoch_mark_.assign(n, 0);
+    closed_mark_.assign(n, 0);
+    target_mark_.assign(n, 0);
+    tree_mark_.assign(n, 0);
+    // Layer metadata resolved once: MetalStack::layer() is an out-of-line
+    // call that shows up at 27M A* edge relaxations per sweep.
+    preferred_.resize(static_cast<std::size_t>(grid.layers()) + 1);
+    for (int l = 1; l <= grid.layers(); ++l)
+      preferred_[static_cast<std::size_t>(l)] = stack.layer(l).preferred;
+  }
+
+  /// Select the net about to be routed: its deterministic tie-break stream.
+  /// The per-node amplitude is tie_jitter normalized by the grid extent, so
+  /// even summed over a die-spanning path the total perturbation stays
+  /// below tie_jitter — far below one real step — and can never make a
+  /// genuinely longer route win, only break exact ties.
+  void set_net(std::uint64_t jitter_seed) {
+    jitter_seed_ = jitter_seed;
+    const double norm = static_cast<double>(grid_->nx() + grid_->ny()) +
+                        2.0 * static_cast<double>(grid_->layers());
+    jitter_scale_ = opts_->tie_jitter * 0x1.0p-53 / norm;
+  }
+
+  /// Epoch-stamped membership set for the net tree under construction —
+  /// O(1) insert/lookup where the previous router did a linear scan.
+  void tree_reset() { ++tree_epoch_; }
+  bool tree_add(std::size_t idx) {
+    if (tree_mark_[idx] == tree_epoch_) return false;
+    tree_mark_[idx] = tree_epoch_;
+    return true;
+  }
+  bool tree_has(std::size_t idx) const {
+    return tree_mark_[idx] == tree_epoch_;
+  }
+
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
+  /// A* from `start` to any node in `targets` (marked via target_mark_).
+  /// Layers below `min_layer` are off-limits. Returns the reached target
+  /// node or npos; parent_ encodes the path.
   std::size_t search(std::size_t start, const std::vector<std::size_t>& targets,
                      int min_layer) {
     ++epoch_;
     // Mark targets and compute their bbox for the heuristic.
-    target_epoch_ = epoch_;
     tminx_ = tminy_ = std::numeric_limits<int>::max();
     tmaxx_ = tmaxy_ = std::numeric_limits<int>::min();
     for (const auto t : targets) {
@@ -159,23 +225,26 @@ class Maze {
       tmaxx_ = std::max(tmaxx_, g.x);
       tminy_ = std::min(tminy_, g.y);
       tmaxy_ = std::max(tmaxy_, g.y);
-      target_mark(t) = epoch_;
+      target_mark_[t] = epoch_;
     }
 
-    using QItem = std::pair<double, std::size_t>;  // (f, node)
-    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
+    // Manual binary heap over a member buffer: a search allocates nothing
+    // once the buffer has grown (std::priority_queue would be a fresh
+    // vector per call — measurable at this call volume).
+    heap_.clear();
     gscore_[start] = 0.0f;
     epoch_mark_[start] = epoch_;
     parent_[start] = static_cast<std::uint32_t>(start);
-    open.emplace(heuristic(start), start);
+    heap_.emplace_back(heuristic(grid_->at(start)), start);
 
     std::size_t found = npos;
-    while (!open.empty()) {
-      const auto [f, node] = open.top();
-      open.pop();
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+      const auto [f, node] = heap_.back();
+      heap_.pop_back();
       if (closed_mark_[node] == epoch_) continue;
       closed_mark_[node] = epoch_;
-      if (target_mark(node) == epoch_) {
+      if (target_mark_[node] == epoch_) {
         found = node;
         break;
       }
@@ -184,19 +253,20 @@ class Maze {
         if (!grid_->in_bounds(ng) || ng.layer < min_layer) return;
         const std::size_t ni = grid_->index(ng);
         // Blockages forbid lateral wiring; vias (layer changes) pass.
-        if (ng.layer == g.layer && blocked_[ni]) return;
+        if (ng.layer == g.layer && cong_->blocked(ni)) return;
         if (closed_mark_[ni] == epoch_) return;
         const double ng_cost = static_cast<double>(gscore_[node]) + step_cost +
-                               node_cost(ni, ng.layer);
+                               cong_->node_cost(ni, ng.layer) + jitter(ni);
         if (epoch_mark_[ni] == epoch_ &&
             static_cast<double>(gscore_[ni]) <= ng_cost)
           return;
         epoch_mark_[ni] = epoch_;
         gscore_[ni] = static_cast<float>(ng_cost);
         parent_[ni] = static_cast<std::uint32_t>(node);
-        open.emplace(ng_cost + heuristic(ni), ni);
+        heap_.emplace_back(ng_cost + heuristic(ng), ni);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
       };
-      const auto dir = stack_->layer(g.layer).preferred;
+      const auto dir = preferred_[static_cast<std::size_t>(g.layer)];
       if (dir == netlist::Direction::Horizontal) {
         try_step({g.x - 1, g.y, g.layer}, 0.0);
         try_step({g.x + 1, g.y, g.layer}, 0.0);
@@ -208,8 +278,8 @@ class Maze {
       try_step({g.x, g.y, g.layer + 1}, opts_->via_cost);
     }
 
-    // Clear target marks for next search.
-    for (const auto t : target_set_) target_mark(t) = 0;
+    // Clear target marks for the next search.
+    for (const auto t : target_set_) target_mark_[t] = 0;
     target_set_.clear();
     return found;
   }
@@ -225,35 +295,83 @@ class Maze {
   }
 
  private:
-  double heuristic(std::size_t idx) const {
-    const GridPoint g = grid_->at(idx);
+  /// Takes the point, not the index: callers already hold the GridPoint,
+  /// and the at() division is real money at 27M relaxations per sweep.
+  double heuristic(const GridPoint& g) const {
     double h = 0;
     if (g.x < tminx_) h += tminx_ - g.x;
     if (g.x > tmaxx_) h += g.x - tmaxx_;
     if (g.y < tminy_) h += tminy_ - g.y;
     if (g.y > tmaxy_) h += g.y - tmaxy_;
-    return h;  // >= remaining steps, each of cost >= 1
+    return h;  // >= remaining steps, each of cost >= 1 (jitter only adds)
   }
 
-  std::uint32_t& target_mark(std::size_t idx) { return target_mark_map_[idx]; }
+  /// Deterministic per-(net, node) tie-break noise in [0, tie_jitter).
+  /// A pure function of the net's seed and the node index — never of the
+  /// executing thread — so a net prices ties identically in any schedule.
+  /// One multiply + xorshift: runs on every A* edge relaxation, where the
+  /// full splitmix64 chain measurably shows up; tie-breaking only needs
+  /// decorrelation between nets, not PRNG-grade uniformity.
+  double jitter(std::size_t idx) const {
+    std::uint64_t s = (jitter_seed_ ^ static_cast<std::uint64_t>(idx)) *
+                      0x9e3779b97f4a7c15ULL;
+    s ^= s >> 29;
+    return jitter_scale_ * static_cast<double>(s >> 11);
+  }
 
   const RouteGrid* grid_;
-  const MetalStack* stack_;
   const RouterOptions* opts_;
-  std::vector<std::int32_t> usage_;
-  std::vector<float> history_;
+  const CongestionState* cong_;
   std::vector<float> gscore_;
   std::vector<std::uint32_t> parent_;
   std::vector<std::uint32_t> epoch_mark_;
   std::vector<std::uint32_t> closed_mark_;
-  std::vector<std::uint32_t> target_mark_map_;
-  std::vector<std::uint8_t> blocked_;
+  std::vector<std::uint32_t> target_mark_;
+  std::vector<std::uint32_t> tree_mark_;
   std::vector<std::size_t> target_set_;
-  std::vector<int> cap_;
+  std::vector<std::pair<double, std::size_t>> heap_;  ///< (f, node) min-heap
+  std::vector<netlist::Direction> preferred_;  ///< per-layer wire direction
   std::uint32_t epoch_ = 0;
-  std::uint32_t target_epoch_ = 0;
-  double pressure_ = 1.0;
+  std::uint32_t tree_epoch_ = 0;
+  std::uint64_t jitter_seed_ = 0;
+  double jitter_scale_ = 0.0;
   int tminx_ = 0, tmaxx_ = 0, tminy_ = 0, tmaxy_ = 0;
+};
+
+/// Mutex-guarded free list of Searchers: a worker leases one per net and
+/// returns it afterwards, so a round needs at most `jobs` searchers total
+/// (each is O(grid) memory). The lease order depends on scheduling; the
+/// Searcher epoch discipline makes that irrelevant to the routes.
+class SearcherPool {
+ public:
+  SearcherPool(const RouteGrid& grid, const MetalStack& stack,
+               const RouterOptions& opts, const CongestionState& cong)
+      : grid_(&grid), stack_(&stack), opts_(&opts), cong_(&cong) {}
+
+  std::unique_ptr<Searcher> acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        auto s = std::move(free_.back());
+        free_.pop_back();
+        return s;
+      }
+    }
+    return std::make_unique<Searcher>(*grid_, *stack_, *opts_, *cong_);
+  }
+
+  void release(std::unique_ptr<Searcher> s) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(s));
+  }
+
+ private:
+  const RouteGrid* grid_;
+  const MetalStack* stack_;
+  const RouterOptions* opts_;
+  const CongestionState* cong_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Searcher>> free_;
 };
 
 /// Compress a node path into straight wire segments and single via segments.
@@ -296,6 +414,86 @@ struct TaskState {
   NetRoute route;
 };
 
+/// Route one net against the round's frozen congestion snapshot. Writes
+/// only `st` (the committed usage is untouched — the caller commits whole
+/// rounds in fixed net order), so any number of these can run concurrently
+/// on distinct nets.
+void route_net(const RouteGrid& grid, const RouteTask& task, Searcher& s,
+               TaskState& st) {
+  st.route = NetRoute{};
+  st.route.net = task.net;
+  st.route.min_layer = task.min_layer;
+  st.nodes.clear();
+  if (task.terminals.empty()) return;
+  const int ml = std::max(1, task.min_layer);
+
+  // Seed the net tree with the driver terminal's via stack.
+  s.tree_reset();
+  std::vector<std::size_t> tree;
+  auto tree_push = [&](std::size_t idx) {
+    if (s.tree_add(idx)) tree.push_back(idx);
+  };
+  {
+    std::vector<std::size_t> stack_idx;
+    stack_nodes(grid, task.terminals[0], ml, stack_idx);
+    for (const auto idx : stack_idx) tree_push(idx);
+  }
+  if (ml > task.terminals[0].layer) {
+    const GridPoint b = grid.snap(task.terminals[0].pos, task.terminals[0].layer);
+    st.route.segments.push_back({b, {b.x, b.y, ml}});
+  }
+  bool ok = true;
+
+  // Connect remaining terminals nearest-first (Prim-like order).
+  std::vector<std::size_t> remaining;
+  for (std::size_t k = 1; k < task.terminals.size(); ++k) remaining.push_back(k);
+  std::stable_sort(remaining.begin(), remaining.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return util::manhattan(task.terminals[a].pos,
+                                            task.terminals[0].pos) <
+                            util::manhattan(task.terminals[b].pos,
+                                            task.terminals[0].pos);
+                   });
+
+  for (const std::size_t k : remaining) {
+    const Terminal& term = task.terminals[k];
+    const GridPoint entry_pin = grid.snap(term.pos, term.layer);
+    const GridPoint entry{entry_pin.x, entry_pin.y, std::max(entry_pin.layer, ml)};
+    const std::size_t entry_idx = grid.index(entry);
+
+    // Degenerate: terminal already on the tree.
+    if (!s.tree_has(entry_idx)) {
+      const std::size_t hit = s.search(entry_idx, tree, ml);
+      if (hit == Searcher::npos) {
+        ok = false;
+        continue;
+      }
+      const auto path = s.backtrack(hit);
+      emit_segments(grid, path, st.route.segments);
+      // path runs hit -> ... -> entry (backtrack order); add all to tree.
+      for (const auto nidx : path) tree_push(nidx);
+    }
+    // Terminal via stack (pin layer up to the entry layer).
+    if (entry.layer > entry_pin.layer) {
+      st.route.segments.push_back({entry_pin, entry});
+      for (int l = entry_pin.layer; l <= entry.layer; ++l)
+        tree_push(grid.index({entry.x, entry.y, l}));
+    }
+  }
+
+  st.route.success = ok;
+  // Pin-layer nodes at the terminals do not consume routing capacity:
+  // pin access is already accounted in the per-layer capacity derate, and
+  // several pins legitimately share one gcell. Everything else does.
+  std::vector<std::size_t> pin_nodes;
+  for (const auto& term : task.terminals)
+    pin_nodes.push_back(grid.index(grid.snap(term.pos, term.layer)));
+  std::sort(pin_nodes.begin(), pin_nodes.end());
+  for (const auto nidx : tree)
+    if (!std::binary_search(pin_nodes.begin(), pin_nodes.end(), nidx))
+      st.nodes.push_back(nidx);
+}
+
 }  // namespace
 
 RoutingResult Router::route(const std::vector<RouteTask>& tasks,
@@ -304,11 +502,13 @@ RoutingResult Router::route(const std::vector<RouteTask>& tasks,
   RoutingResult result;
   result.grid = RouteGrid(die, opts_.gcell_um, stack.num_layers());
   const RouteGrid& grid = result.grid;
-  Maze maze(grid, stack, opts_);
+  CongestionState cong(grid, stack, opts_);
 
   std::vector<TaskState> state(tasks.size());
 
-  // Route order: short nets first (they have the least flexibility).
+  // Fixed net order: short nets first (they have the least flexibility).
+  // This is simultaneously the greedy-keep order and the commit order, so
+  // the whole negotiation is a pure function of (tasks, options).
   std::vector<std::size_t> order(tasks.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   auto task_span = [&](const RouteTask& t) {
@@ -321,120 +521,87 @@ RoutingResult Router::route(const std::vector<RouteTask>& tasks,
     return task_span(tasks[a]) < task_span(tasks[b]);
   });
 
-  auto route_one = [&](std::size_t ti) {
-    const RouteTask& task = tasks[ti];
-    TaskState& st = state[ti];
-    st.route = NetRoute{};
-    st.route.net = task.net;
-    st.route.min_layer = task.min_layer;
-    st.nodes.clear();
-    if (task.terminals.empty()) return;
-    const int ml = std::max(1, task.min_layer);
+  // One pool for every round's re-route batch (fresh-pool-per-round would
+  // violate thread_pool.hpp's hot-loop guidance). Serial when jobs
+  // resolves to 1.
+  const std::size_t jobs = util::resolve_jobs(opts_.jobs, tasks.size());
+  std::optional<util::ThreadPool> pool;
+  if (jobs > 1 && tasks.size() > 1) pool.emplace(jobs);
+  SearcherPool searchers(grid, stack, opts_, cong);
 
-    // Seed the net tree with the driver terminal's via stack.
-    std::vector<std::size_t> tree;
-    stack_nodes(grid, task.terminals[0], ml, tree);
-    if (ml > task.terminals[0].layer) {
-      const GridPoint b = grid.snap(task.terminals[0].pos, task.terminals[0].layer);
-      st.route.segments.push_back({b, {b.x, b.y, ml}});
+  // Route `ripped` (already in commit order) chunk by chunk: the nets of
+  // one chunk route in parallel against the usage committed by all earlier
+  // chunks (plus the kept nets), then commit in order before the next
+  // chunk starts. The chunk partition depends only on the net count —
+  // never on jobs — so results stay bit-identical for any worker count,
+  // while the one-net-at-a-time PathFinder behaviour (lower layers fill
+  // up, later nets hop higher) is preserved at chunk granularity. Within a
+  // chunk each net's randomness comes from its own task_seed stream.
+  auto route_batch = [&](const std::vector<std::size_t>& ripped) {
+    const std::size_t chunk = std::max<std::size_t>(16, ripped.size() / 64);
+    for (std::size_t begin = 0; begin < ripped.size(); begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, ripped.size());
+      auto run_one = [&](std::size_t k) {
+        const std::size_t ti = ripped[begin + k];
+        auto s = searchers.acquire();
+        s->set_net(util::task_seed(opts_.seed, ti));
+        route_net(grid, tasks[ti], *s, state[ti]);
+        searchers.release(std::move(s));
+      };
+      if (pool && end - begin > 1)
+        pool->parallel_for(end - begin, run_one);
+      else
+        for (std::size_t k = 0; k < end - begin; ++k) run_one(k);
+      // Commit this chunk in fixed net order.
+      for (std::size_t k = begin; k < end; ++k)
+        for (const auto nidx : state[ripped[k]].nodes) cong.add_usage(nidx, 1);
     }
-    bool ok = true;
-
-    // Connect remaining terminals nearest-first (Prim-like order).
-    std::vector<std::size_t> remaining;
-    for (std::size_t k = 1; k < task.terminals.size(); ++k) remaining.push_back(k);
-    std::stable_sort(remaining.begin(), remaining.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       return util::manhattan(task.terminals[a].pos,
-                                              task.terminals[0].pos) <
-                              util::manhattan(task.terminals[b].pos,
-                                              task.terminals[0].pos);
-                     });
-
-    for (const std::size_t k : remaining) {
-      const Terminal& term = task.terminals[k];
-      const GridPoint entry_pin = grid.snap(term.pos, term.layer);
-      const GridPoint entry{entry_pin.x, entry_pin.y, std::max(entry_pin.layer, ml)};
-      const std::size_t entry_idx = grid.index(entry);
-
-      // Degenerate: terminal already on the tree.
-      const bool on_tree =
-          std::find(tree.begin(), tree.end(), entry_idx) != tree.end();
-      std::size_t hit = entry_idx;
-      if (!on_tree) {
-        hit = maze.search(entry_idx, tree, ml);
-        if (hit == Maze::npos) {
-          ok = false;
-          continue;
-        }
-        const auto path = maze.backtrack(hit);
-        emit_segments(grid, path, st.route.segments);
-        // path runs hit -> ... -> entry (backtrack order); add all to tree.
-        for (const auto nidx : path)
-          if (std::find(tree.begin(), tree.end(), nidx) == tree.end())
-            tree.push_back(nidx);
-      }
-      // Terminal via stack (pin layer up to the entry layer).
-      if (entry.layer > entry_pin.layer) {
-        st.route.segments.push_back({entry_pin, entry});
-        for (int l = entry_pin.layer; l <= entry.layer; ++l) {
-          const std::size_t nidx = grid.index({entry.x, entry.y, l});
-          if (std::find(tree.begin(), tree.end(), nidx) == tree.end())
-            tree.push_back(nidx);
-        }
-      }
-    }
-
-    st.route.success = ok;
-    // Pin-layer nodes at the terminals do not consume routing capacity:
-    // pin access is already accounted in the per-layer capacity derate, and
-    // several pins legitimately share one gcell. Everything else does.
-    std::vector<std::size_t> pin_nodes;
-    for (const auto& term : task.terminals)
-      pin_nodes.push_back(grid.index(grid.snap(term.pos, term.layer)));
-    std::sort(pin_nodes.begin(), pin_nodes.end());
-    st.nodes.clear();
-    for (const auto nidx : tree)
-      if (!std::binary_search(pin_nodes.begin(), pin_nodes.end(), nidx))
-        st.nodes.push_back(nidx);
-    for (const auto nidx : st.nodes) maze.add_usage(nidx, 1);
   };
 
-  // Initial pass.
-  for (const auto ti : order) route_one(ti);
+  // Round 0: route everything.
+  std::vector<std::size_t> ripped = order;
+  route_batch(ripped);
 
-  // Negotiated congestion: rip up nets crossing overflowed nodes, bump
-  // history, re-route.
+  // Negotiated congestion, snapshot-commit style: keep nets greedily up to
+  // each node's capacity (in commit order), rip the excess, re-route the
+  // ripped nets in parallel against the kept usage + bumped history, commit,
+  // repeat. Unlike rip-everything-overflowing, the kept nets pin the tracks
+  // they legally fill, so re-routed nets see full tracks as expensive and
+  // spread instead of oscillating in lockstep.
   for (int pass = 1; pass < opts_.passes; ++pass) {
-    if (maze.count_overflow() == 0) break;
-    maze.bump_history();
-    maze.set_pressure(1.0 + static_cast<double>(pass));
-    std::vector<std::size_t> ripped;
+    if (cong.count_overflow() == 0) break;
+    cong.bump_history();
+    cong.set_pressure(1.0 + static_cast<double>(pass));
+
+    ripped.clear();
+    cong.clear_usage();
     for (const auto ti : order) {
       TaskState& st = state[ti];
-      bool over = !st.route.success;
-      for (const auto nidx : st.nodes) {
-        const GridPoint g = grid.at(nidx);
-        if (maze.usage_at(nidx) > maze.capacity(g.layer)) {
-          over = true;
-          break;
+      bool rip = !st.route.success;
+      if (!rip) {
+        for (const auto nidx : st.nodes) {
+          if (!cong.fits(nidx, grid.at(nidx).layer)) {
+            rip = true;
+            break;
+          }
         }
       }
-      if (over) {
-        for (const auto nidx : st.nodes) maze.add_usage(nidx, -1);
+      if (rip) {
         st.nodes.clear();
         st.route.segments.clear();
         ripped.push_back(ti);
+      } else {
+        for (const auto nidx : st.nodes) cong.add_usage(nidx, 1);
       }
     }
-    for (const auto ti : ripped) route_one(ti);
+    route_batch(ripped);
   }
 
   result.routes.resize(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i)
     result.routes[i] = std::move(state[i].route);
   result.stats = collect_stats(grid, result.routes);
-  result.stats.overflowed_gcells = maze.count_overflow();
+  result.stats.overflowed_gcells = cong.count_overflow();
   return result;
 }
 

@@ -13,6 +13,18 @@
 // lifting to M6/M8) is expressed with RouteTask::min_layer: every route
 // segment of such a task must run at or above that layer; terminals reach
 // it through via stacks, exactly like the pins of the custom cells.
+//
+// Negotiation is round-based with a snapshot-commit discipline so the net
+// re-routes of one round can shard over a util::ThreadPool: every round
+// first selects the nets to rip up (greedy keep-up-to-capacity in a fixed
+// net order), then re-routes them in fixed-size chunks — the nets of one
+// chunk route in parallel against the frozen usage/history committed so
+// far, then commit in the same fixed order before the next chunk starts.
+// The chunk partition is a function of the net count alone, searches never
+// observe sibling routes of their own chunk, and each net breaks cost ties
+// with its own util::task_seed-derived jitter stream, so the result is
+// bit-identical for every RouterOptions::jobs value (tests/test_route.cpp
+// holds this as a regression).
 #pragma once
 
 #include "netlist/netlist.hpp"
@@ -82,11 +94,22 @@ struct Blockage {
 
 struct RouterOptions {
   double gcell_um = 2.8;
-  int passes = 3;            ///< rip-up & re-route iterations
+  int passes = 3;            ///< rip-up & re-route rounds (>= 1)
   double via_cost = 3.5;     ///< cost of one layer crossing (vs 1 per gcell)
   double overflow_penalty = 4.0;
   double history_increment = 1.5;
+  /// Per-net deterministic tie-break noise added to each node cost, drawn
+  /// from util::task_seed(seed, task index). Decorrelates otherwise
+  /// identical nets (they stop stacking on one track). The per-node
+  /// amplitude is this value divided by the grid extent, so even summed
+  /// over a die-spanning path the total perturbation stays below
+  /// tie_jitter — far under the cost of any real detour (one gcell step
+  /// = 1.0) — and route quality is unaffected. 0 disables it.
+  double tie_jitter = 0.05;
   std::uint64_t seed = 1;
+  /// Worker threads for each round's net re-routes; 0 = hardware
+  /// concurrency. Routes are bit-identical for every value.
+  std::size_t jobs = 1;
   std::vector<Blockage> blockages;
 };
 
@@ -94,7 +117,8 @@ class Router {
  public:
   explicit Router(RouterOptions opts = {}) : opts_(opts) {}
 
-  /// Route all tasks inside `die`. Deterministic in (tasks, options).
+  /// Route all tasks inside `die`. Deterministic in (tasks, options);
+  /// RouterOptions::jobs never changes the result, only the wall time.
   RoutingResult route(const std::vector<RouteTask>& tasks,
                       const util::Rect& die,
                       const netlist::MetalStack& stack) const;

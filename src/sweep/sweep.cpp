@@ -2,6 +2,7 @@
 
 #include "attack/proximity.hpp"
 #include "core/baselines.hpp"
+#include "core/pipeline.hpp"
 #include "core/protect.hpp"
 #include "core/split.hpp"
 #include "util/args.hpp"
@@ -21,11 +22,15 @@ namespace sm::sweep {
 namespace {
 
 /// One (benchmark, seed, defense) work unit; attacked at every split layer.
+/// Tasks of one (benchmark, seed) pair share a LayoutCache entry under
+/// `cache_key` — the generated netlist always, the base layout when the
+/// defense is Unprotected.
 struct Task {
   std::string benchmark;
   std::uint64_t seed = 0;
   Defense defense = Defense::Unprotected;
   bool superblue = false;
+  std::string cache_key;
 };
 
 double now_ms() {
@@ -66,28 +71,31 @@ core::RandomizeOptions randomize_for(const Task& t) {
 /// Run one task and fill its split-layer rows (rows[0..splits-1]).
 /// Everything written to `rows` is a function of the task's grid
 /// coordinates and `opts` alone — this is where the thread-count
-/// independence of the whole sweep is decided.
+/// independence of the whole sweep is decided. Cached stage products keep
+/// that property: they are deterministic in (benchmark, seed, options), so
+/// whether this task builds them or reuses a sibling defense's build is
+/// invisible in the metrics.
 void run_task(const Task& t, const Grid& grid, const Options& opts,
+              const netlist::CellLibrary& lib, core::LayoutCache& cache,
               Row* rows) {
   const double t0 = now_ms();
   const auto spec = t.superblue
                         ? workloads::superblue_profile(t.benchmark, grid.scale)
                         : workloads::iscas85_profile(t.benchmark);
-  netlist::CellLibrary lib{t.superblue ? 8 : 6};
-  const auto nl = workloads::generate(lib, spec, t.seed);
+  const auto& nl = cache.netlist(
+      t.cache_key, [&] { return workloads::generate(lib, spec, t.seed); });
   const auto flow = flow_for(t, spec);
 
   const netlist::Netlist* feol = &nl;
   const core::LayoutResult* layout = nullptr;
   const core::SwapLedger* ledger = nullptr;
 
-  std::optional<core::LayoutResult> original;
   std::optional<core::ProtectedDesign> design;
   std::size_t swaps = 0;
   if (t.defense == Defense::Unprotected) {
-    original = core::layout_original(nl, flow);
-    feol = &original->physical(nl);
-    layout = &*original;
+    const auto& base = cache.base_layout(t.cache_key, nl, flow);
+    feol = &base.physical(nl);
+    layout = &base;
   } else {
     design = core::protect(nl, randomize_for(t), flow);
     feol = &design->erroneous;
@@ -271,7 +279,10 @@ std::string Result::to_csv() const {
 std::string Result::to_json() const {
   std::ostringstream os;
   os << "{\n  \"jobs\": " << jobs << ",\n  \"wall_ms\": " << wall_ms
-     << ",\n  \"rows\": [";
+     << ",\n  \"cache\": {\"netlists\": " << cache_stats.netlists
+     << ", \"placements\": " << cache_stats.placements
+     << ", \"base_routes\": " << cache_stats.base_routes
+     << ", \"hits\": " << cache_stats.hits << "},\n  \"rows\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     os << (i ? "," : "") << "\n    {\"benchmark\": \""
@@ -299,9 +310,14 @@ Result run(const Grid& grid, const Options& opts) {
     if (!superblue &&
         std::find(iscas.begin(), iscas.end(), bench) == iscas.end())
       throw std::invalid_argument("sweep: unknown benchmark '" + bench + "'");
-    for (const auto seed : grid.seeds)
+    for (const auto seed : grid.seeds) {
+      // All defenses of one (bench, seed) share one cache entry. The key
+      // needn't carry scale/options: they are constant within a run and
+      // the cache lives exactly as long as the run.
+      const std::string key = bench + "/" + std::to_string(seed);
       for (const auto defense : grid.defenses)
-        tasks.push_back({bench, seed, defense, superblue});
+        tasks.push_back({bench, seed, defense, superblue, key});
+    }
   }
 
   Result result;
@@ -309,13 +325,22 @@ Result run(const Grid& grid, const Options& opts) {
   result.rows.resize(tasks.size() * splits);
   result.jobs = util::resolve_jobs(opts.jobs, tasks.size());
 
+  // The libraries and the cache outlive every task (cached netlists keep a
+  // pointer to their library); both are only read concurrently.
+  const netlist::CellLibrary lib_iscas{6};
+  const netlist::CellLibrary lib_superblue{8};
+  core::LayoutCache cache;
+
   const double t0 = now_ms();
   // Row block for task i is [i*splits, (i+1)*splits): grid-major order, and
   // no two tasks share a row — workers never contend on results.
   util::parallel_for(opts.jobs, tasks.size(), [&](std::size_t i) {
-    run_task(tasks[i], grid, opts, result.rows.data() + i * splits);
+    run_task(tasks[i], grid, opts,
+             tasks[i].superblue ? lib_superblue : lib_iscas, cache,
+             result.rows.data() + i * splits);
   });
   result.wall_ms = now_ms() - t0;
+  result.cache_stats = cache.stats();
   return result;
 }
 

@@ -20,8 +20,19 @@
 // grid (a layout does not depend on where it is later cut — recomputing it
 // per split would only burn CPU). Each (task × split) pair lands in its own
 // pre-assigned result row.
+//
+// Cross-defense sharing: every defense of one (benchmark, seed) pair starts
+// from the same generated netlist, and attacks on the unprotected reference
+// start from the same base placement and route. Those stage products live
+// in a core::LayoutCache shared by the whole sweep (one entry per
+// (benchmark, seed)), built at most once by whichever task needs them
+// first; Result::cache_stats counts the builds — the base placement runs
+// exactly once per (benchmark, seed), which tests/test_sweep.cpp asserts.
+// (protect() still places each protected defense's *erroneous* netlist:
+// that placement is the defense mechanism itself and cannot be shared.)
 #pragma once
 
+#include "core/pipeline.hpp"
 #include "util/table.hpp"
 
 #include <cstddef>
@@ -95,6 +106,12 @@ struct Result {
   std::vector<Row> rows;  ///< grid-major: benchmark, seed, defense, split
   std::size_t jobs = 1;   ///< resolved worker count actually used
   double wall_ms = 0.0;   ///< whole-sweep wall time
+  /// Shared-stage build counters: netlists/base placements/base routes
+  /// each run exactly once per (benchmark, seed) that needed them,
+  /// independent of how many defenses rode on top (hits counts the
+  /// reuses). The erroneous-netlist placements inside protect() are
+  /// intentionally uncached and not counted here.
+  core::LayoutCache::Stats cache_stats;
 
   /// Per-row table (one line per grid cell).
   util::Table table() const;

@@ -1,0 +1,159 @@
+// Staged layout pipeline + LayoutCache tests: stage composition equals the
+// monolithic flows, cached stage products are bit-identical to from-scratch
+// computation, stages build exactly once per key (also under concurrency),
+// and the buffering variant carries its sized netlist through the stages.
+#include "core/pipeline.hpp"
+
+#include "util/thread_pool.hpp"
+#include "workloads/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace {
+
+using namespace sm::core;
+using sm::netlist::CellLibrary;
+using sm::netlist::Netlist;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  CellLibrary lib{6};
+  Netlist bench(const char* name = "c432", std::uint64_t seed = 3) const {
+    return sm::workloads::generate(lib, sm::workloads::iscas85_profile(name),
+                                   seed);
+  }
+  FlowOptions flow() const {
+    FlowOptions f;
+    f.lift_layer = 6;
+    f.router.passes = 2;
+    f.placer.detailed_passes = 1;
+    return f;
+  }
+  RandomizeOptions rand_opts() const {
+    RandomizeOptions r;
+    r.seed = 5;
+    r.check_patterns = 2048;
+    return r;
+  }
+};
+
+void expect_same_layout(const LayoutResult& a, const LayoutResult& b) {
+  ASSERT_EQ(a.placement.pos.size(), b.placement.pos.size());
+  for (std::size_t i = 0; i < a.placement.pos.size(); ++i)
+    EXPECT_EQ(a.placement.pos[i], b.placement.pos[i]);
+  ASSERT_EQ(a.routing.routes.size(), b.routing.routes.size());
+  for (std::size_t i = 0; i < a.routing.routes.size(); ++i) {
+    const auto& ra = a.routing.routes[i];
+    const auto& rb = b.routing.routes[i];
+    ASSERT_EQ(ra.segments.size(), rb.segments.size()) << "net index " << i;
+    for (std::size_t s = 0; s < ra.segments.size(); ++s) {
+      EXPECT_EQ(ra.segments[s].a, rb.segments[s].a);
+      EXPECT_EQ(ra.segments[s].b, rb.segments[s].b);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.routing.stats.total_wire_um(),
+                   b.routing.stats.total_wire_um());
+  EXPECT_EQ(a.routing.stats.total_vias(), b.routing.stats.total_vias());
+  EXPECT_DOUBLE_EQ(a.ppa.total_power_uw(), b.ppa.total_power_uw());
+  EXPECT_DOUBLE_EQ(a.ppa.critical_path_ps, b.ppa.critical_path_ps);
+}
+
+TEST_F(PipelineTest, StagedPipelineEqualsLayoutOriginal) {
+  const Netlist nl = bench();
+  const auto opts = flow();
+  const auto monolithic = layout_original(nl, opts);
+  const PlacedDesign placed = place_design(nl, opts);
+  const auto staged = route_design(nl, placed, opts);
+  expect_same_layout(monolithic, staged);
+  EXPECT_FALSE(placed.sized.has_value());
+}
+
+TEST_F(PipelineTest, BufferingStageCarriesSizedNetlist) {
+  const Netlist nl = bench("c880", 2);
+  auto opts = flow();
+  opts.buffering = true;
+  const PlacedDesign placed = place_design(nl, opts);
+  ASSERT_TRUE(placed.sized.has_value());
+  EXPECT_GE(placed.sized->num_gates(), nl.num_gates());
+  EXPECT_EQ(&placed.physical(nl), &*placed.sized);
+  const auto staged = route_design(nl, placed, opts);
+  ASSERT_TRUE(staged.sized_netlist.has_value());
+  expect_same_layout(layout_original(nl, opts), staged);
+}
+
+TEST_F(PipelineTest, CachedBaseLayoutEqualsFromScratch) {
+  const auto opts = flow();
+  LayoutCache cache;
+  const auto& nl = cache.netlist("c432/3", [&] { return bench(); });
+  const auto& base = cache.base_layout("c432/3", nl, opts);
+  expect_same_layout(layout_original(bench(), opts), base);
+  // The second request is a hit returning the same object.
+  EXPECT_EQ(&cache.base_layout("c432/3", nl, opts), &base);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.netlists, 1u);
+  EXPECT_EQ(st.placements, 1u);  // base_layout built stage 1 implicitly
+  EXPECT_EQ(st.base_routes, 1u);
+  EXPECT_GE(st.hits, 1u);
+}
+
+// The satellite criterion: a protect() run fed from the cache's shared
+// netlist is bit-identical to a from-scratch run — reusing the cached
+// stage products never perturbs a defense.
+TEST_F(PipelineTest, CachedNetlistProtectEqualsFromScratch) {
+  const auto opts = flow();
+  LayoutCache cache;
+  const auto& cached_nl = cache.netlist("c432/3", [&] { return bench(); });
+  const auto from_cache = protect(cached_nl, rand_opts(), opts);
+  const auto from_scratch = protect(bench(), rand_opts(), opts);
+  EXPECT_EQ(from_cache.ledger.entries.size(),
+            from_scratch.ledger.entries.size());
+  EXPECT_EQ(from_cache.oer, from_scratch.oer);
+  EXPECT_EQ(from_cache.hd, from_scratch.hd);
+  EXPECT_EQ(from_cache.restored_ok, from_scratch.restored_ok);
+  expect_same_layout(from_cache.layout, from_scratch.layout);
+}
+
+TEST_F(PipelineTest, StagesBuildOncePerKeyAndLazily) {
+  const auto opts = flow();
+  LayoutCache cache;
+  std::atomic<int> builds{0};
+  auto builder = [&] {
+    ++builds;
+    return bench();
+  };
+  const auto& a = cache.netlist("k1", builder);
+  const auto& b = cache.netlist("k1", builder);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(builds.load(), 1);
+  // A different key builds independently.
+  cache.netlist("k2", builder);
+  EXPECT_EQ(builds.load(), 2);
+  // Nothing routed or placed yet: stages are lazy.
+  auto st = cache.stats();
+  EXPECT_EQ(st.placements, 0u);
+  EXPECT_EQ(st.base_routes, 0u);
+  // placed() alone must not trigger a route.
+  cache.placed("k1", a, opts);
+  st = cache.stats();
+  EXPECT_EQ(st.placements, 1u);
+  EXPECT_EQ(st.base_routes, 0u);
+}
+
+TEST_F(PipelineTest, ConcurrentCallersShareOneBuild) {
+  const auto opts = flow();
+  LayoutCache cache;
+  const Netlist nl = bench();
+  std::vector<const LayoutResult*> seen(16, nullptr);
+  sm::util::parallel_for(8, seen.size(), [&](std::size_t i) {
+    seen[i] = &cache.base_layout("k", nl, opts);
+  });
+  for (const auto* p : seen) EXPECT_EQ(p, seen[0]);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.placements, 1u);  // built once, inside the winning builder
+  EXPECT_EQ(st.base_routes, 1u);
+  EXPECT_EQ(st.hits, seen.size() - 1);  // every other caller reused it
+}
+
+}  // namespace

@@ -140,6 +140,17 @@ TEST(Sweep, EightJobsBitIdenticalToOneJob) {
       EXPECT_GE(row.swaps, 1u);
     }
   }
+
+  // Shared-stage accounting: the grid spans 2 (bench, seed) groups × 2
+  // defenses, and each shared stage ran exactly once per group — the
+  // netlist for both defenses, placement + base route for Unprotected.
+  // The counters are part of the determinism contract too.
+  for (const auto* r : {&serial, &parallel}) {
+    EXPECT_EQ(r->cache_stats.netlists, 2u);
+    EXPECT_EQ(r->cache_stats.placements, 2u);
+    EXPECT_EQ(r->cache_stats.base_routes, 2u);
+    EXPECT_EQ(r->cache_stats.hits, 2u);  // the Proposed tasks' netlist reuse
+  }
 }
 
 TEST(Sweep, ExportsContainEveryRow) {
