@@ -25,6 +25,13 @@
 //                   --attack-jobs.
 //   --route-passes=<n>   router rip-up-and-reroute rounds (default: the
 //                   suite tuning, currently 3)
+//   --route-partition=tree|rounds   router re-route scheduler: the spatial
+//                   partition tree with live in-region congestion (default)
+//                   or the legacy snapshot-commit rounds (changes which
+//                   layout is produced; each is deterministic on its own)
+//   --partition-depth=<n>   tree depth where the router's parallel tasks
+//                   fan out (default auto; pure scheduling — layouts are
+//                   bit-identical for every value)
 //   --detailed-passes=<n>  placer greedy-swap refinement sweeps (default:
 //                   the per-suite tuning, 2 ISCAS / 1 superblue)
 //
@@ -59,6 +66,9 @@ struct SuiteOptions {
   std::size_t attack_jobs = 1;  ///< threads inside each proximity attack
   std::size_t route_jobs = 1;   ///< threads inside each router run
   std::size_t route_passes = 0; ///< router negotiation rounds; 0 = suite default
+  route::RoutePartition route_partition =
+      route::RoutePartition::Tree;  ///< re-route scheduler
+  int partition_depth = -1;     ///< tree fan-out depth; -1 = auto
   int detailed_passes = -1;     ///< placer refinement sweeps; -1 = suite default
   std::vector<std::string> only;  ///< benchmark filter (empty = all)
 };
@@ -79,6 +89,12 @@ inline SuiteOptions parse_suite(int argc, const char* const* argv) {
     if (s.route_passes == 0)
       throw std::invalid_argument("bench: --route-passes must be >= 1");
   }
+  if (args.has("route-partition"))
+    s.route_partition =
+        route::route_partition_from_string(args.get("route-partition", ""));
+  if (args.has("partition-depth"))
+    s.partition_depth =
+        static_cast<int>(args.get_count("partition-depth", 0));
   if (args.has("detailed-passes"))
     s.detailed_passes =
         static_cast<int>(args.get_count("detailed-passes", 0));
@@ -94,6 +110,8 @@ inline core::FlowOptions apply_layout_flags(core::FlowOptions f,
                                             const SuiteOptions& s) {
   if (s.route_passes > 0) f.router.passes = static_cast<int>(s.route_passes);
   f.router.jobs = s.route_jobs;
+  f.router.partition = s.route_partition;
+  f.router.partition_depth = s.partition_depth;
   if (s.detailed_passes >= 0) f.placer.detailed_passes = s.detailed_passes;
   return f;
 }

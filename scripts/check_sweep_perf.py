@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI perf-regression smoke for the sweep driver.
+
+Compares the wall time of a fresh quick-mode sweep (the ``--json`` export
+of ``sm_flow sweep --quick``) against the most recent ``quick_wall_ms``
+baseline recorded in BENCH_sweep.json, and fails when the fresh run is
+slower by more than a generous factor. The factor is deliberately loose
+(default 10x): CI machines differ wildly from the hosts the baselines were
+measured on, and this check only exists to catch order-of-magnitude
+regressions — an accidentally quadratic loop, a debug build, a scheduler
+that stopped parallelizing — not single-digit percent drift. Track real
+performance by re-measuring BENCH_sweep.json entries on a pinned host.
+
+Usage:
+    check_sweep_perf.py FRESH_JSON BASELINE_JSON [--factor=F]
+
+Baseline selection: the latest BENCH_sweep.json entry carrying a
+``quick_wall_ms`` field, preferring entries whose ``host_hardware_threads``
+matches this machine (same tier); if no entry has the field at all — old
+checkouts predate it — the check passes with a notice, so the script can
+ride in CI before the first baseline lands.
+
+Exit status: 0 pass, 1 regression, 2 usage/parse error.
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_FACTOR = 10.0
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"check_sweep_perf: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def pick_baseline(entries, host_threads):
+    """Latest entry with quick_wall_ms, same-tier entries preferred."""
+    if not isinstance(entries, list):
+        print("check_sweep_perf: baseline JSON is not a list", file=sys.stderr)
+        sys.exit(2)
+    with_quick = [e for e in entries if "quick_wall_ms" in e]
+    same_tier = [
+        e for e in with_quick
+        if e.get("host_hardware_threads") == host_threads
+    ]
+    pool = same_tier or with_quick
+    return pool[-1] if pool else None
+
+
+def main(argv):
+    factor = DEFAULT_FACTOR
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--factor="):
+            factor = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    fresh = load(paths[0])
+    wall_ms = fresh.get("wall_ms")
+    if not isinstance(wall_ms, (int, float)) or wall_ms <= 0:
+        print(f"check_sweep_perf: no usable wall_ms in {paths[0]}",
+              file=sys.stderr)
+        return 2
+
+    host_threads = os.cpu_count() or 1
+    baseline = pick_baseline(load(paths[1]), host_threads)
+    if baseline is None:
+        print("check_sweep_perf: no quick_wall_ms baseline recorded yet — "
+              "passing (record one in BENCH_sweep.json)")
+        return 0
+
+    base_ms = float(baseline["quick_wall_ms"])
+    limit_ms = base_ms * factor
+    tier = baseline.get("host_hardware_threads")
+    tier_note = ("same tier" if tier == host_threads else
+                 f"baseline tier {tier}, this host {host_threads}")
+    print(f"check_sweep_perf: fresh {wall_ms:.0f} ms vs baseline "
+          f"{base_ms:.0f} ms (PR {baseline.get('pr', '?')}, {tier_note}), "
+          f"limit {limit_ms:.0f} ms (factor {factor:g})")
+    if wall_ms > limit_ms:
+        print(f"check_sweep_perf: REGRESSION — quick sweep took "
+              f"{wall_ms:.0f} ms, over {factor:g}x the recorded "
+              f"{base_ms:.0f} ms baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,167 @@
+#include "route/partition_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sm::route {
+namespace {
+
+/// One candidate cutline, scored. Lexicographic order picks the winner:
+/// smallest critical-path estimate, then best balance, then the wider axis
+/// (vertical cut on a square region), then the lowest coordinate — all
+/// pure functions of the inputs, so the tree build stays deterministic.
+struct Cut {
+  std::uint64_t score = ~0ULL;    ///< max(left, right) + crossing work
+  std::uint64_t imbalance = ~0ULL;///< |left - right| work
+  int axis_penalty = 0;           ///< 0 = wider axis, 1 = narrower axis
+  int axis = 0;                   ///< 0 = vertical cut (x), 1 = horizontal (y)
+  std::int32_t pos = 0;           ///< last column/row of the low side
+  std::uint64_t sided = 0;        ///< work that actually left the node
+
+  bool beats(const Cut& o) const {
+    if (score != o.score) return score < o.score;
+    // A cut's score never exceeds the node's total work, and an all-crossing
+    // cut scores exactly that — so preferring larger `sided` at equal score
+    // both favours cuts that feed the children and makes "best.sided == 0"
+    // an exact no-cut-helps test.
+    if (sided != o.sided) return sided > o.sided;
+    if (imbalance != o.imbalance) return imbalance < o.imbalance;
+    if (axis_penalty != o.axis_penalty) return axis_penalty < o.axis_penalty;
+    if (axis != o.axis) return axis < o.axis;
+    return pos < o.pos;
+  }
+};
+
+/// Scan one axis of `region` with prefix sums: after one O(extent + nets)
+/// pass, every candidate cut knows the work strictly on each side and the
+/// crossing remainder in O(1).
+void scan_axis(int axis, const util::GridRect& region,
+               const std::vector<PartitionNet>& all,
+               const std::vector<std::size_t>& nets, std::int32_t min_extent,
+               int axis_penalty, Cut& best) {
+  const std::int32_t lo = axis == 0 ? region.x0 : region.y0;
+  const std::int32_t hi = axis == 0 ? region.x1 : region.y1;
+  const std::int32_t first = lo + min_extent - 1;  // low side >= min_extent
+  const std::int32_t last = hi - min_extent;       // high side >= min_extent
+  if (first > last) return;
+
+  const std::size_t extent = static_cast<std::size_t>(hi - lo + 1);
+  // ends[i]: work of nets whose window ends at coordinate lo+i;
+  // starts[i]: work of nets whose window starts at lo+i.
+  std::vector<std::uint64_t> ends(extent, 0), starts(extent, 0);
+  std::uint64_t total = 0;
+  for (const auto ni : nets) {
+    const auto& w = all[ni].window;
+    const std::int32_t b = axis == 0 ? w.x0 : w.y0;
+    const std::int32_t e = axis == 0 ? w.x1 : w.y1;
+    ends[static_cast<std::size_t>(e - lo)] += all[ni].work;
+    starts[static_cast<std::size_t>(b - lo)] += all[ni].work;
+    total += all[ni].work;
+  }
+  std::partial_sum(ends.begin(), ends.end(), ends.begin());
+  // suffix sum: starts[i] = work of nets starting at >= lo+i
+  for (std::size_t i = extent - 1; i-- > 0;) starts[i] += starts[i + 1];
+
+  for (std::int32_t c = first; c <= last; ++c) {
+    const std::uint64_t left = ends[static_cast<std::size_t>(c - lo)];
+    const std::uint64_t right = starts[static_cast<std::size_t>(c + 1 - lo)];
+    const std::uint64_t cross = total - left - right;
+    Cut cut;
+    cut.score = std::max(left, right) + cross;
+    cut.imbalance = left > right ? left - right : right - left;
+    cut.axis_penalty = axis_penalty;
+    cut.axis = axis;
+    cut.pos = c;
+    cut.sided = left + right;
+    if (cut.beats(best)) best = cut;
+  }
+}
+
+}  // namespace
+
+PartitionTree::PartitionTree(const util::GridRect& bounds,
+                             std::vector<PartitionNet> nets,
+                             const Limits& limits) {
+  if (nets.empty() || bounds.empty()) return;
+  nets_ = std::move(nets);
+  PartitionNode root;
+  root.region = bounds;
+  nodes_.push_back(std::move(root));
+  std::vector<std::size_t> all(nets_.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  build(0, std::move(all), limits);
+
+  for (const auto& n : nodes_) depth_ = std::max(depth_, n.depth);
+  levels_.resize(static_cast<std::size_t>(depth_) + 1);
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i)
+    levels_[static_cast<std::size_t>(nodes_[static_cast<std::size_t>(i)].depth)]
+        .push_back(i);
+}
+
+void PartitionTree::build(int node, std::vector<std::size_t> nets,
+                          const Limits& limits) {
+  const util::GridRect region = nodes_[static_cast<std::size_t>(node)].region;
+  const int depth = nodes_[static_cast<std::size_t>(node)].depth;
+  if (nets.size() < limits.min_nets || depth >= limits.max_depth) {
+    nodes_[static_cast<std::size_t>(node)].nets = std::move(nets);
+    return;
+  }
+
+  // Prefer cutting the wider dimension; scan both and keep the best cut.
+  const int wide_axis = region.width() >= region.height() ? 0 : 1;
+  Cut best;
+  scan_axis(0, region, nets_, nets, limits.min_extent, wide_axis == 0 ? 0 : 1,
+            best);
+  scan_axis(1, region, nets_, nets, limits.min_extent, wide_axis == 1 ? 0 : 1,
+            best);
+  // No legal cut (region too thin) or no net ever leaves the node (every
+  // window straddles every candidate cutline): splitting buys nothing.
+  if (best.score == ~0ULL || best.sided == 0) {
+    nodes_[static_cast<std::size_t>(node)].nets = std::move(nets);
+    return;
+  }
+
+  util::GridRect lo_region = region, hi_region = region;
+  if (best.axis == 0) {
+    lo_region.x1 = best.pos;
+    hi_region.x0 = best.pos + 1;
+  } else {
+    lo_region.y1 = best.pos;
+    hi_region.y0 = best.pos + 1;
+  }
+
+  std::vector<std::size_t> lo_nets, hi_nets, crossing;
+  for (const auto ni : nets) {
+    const auto& w = nets_[ni].window;
+    if (lo_region.contains(w))
+      lo_nets.push_back(ni);
+    else if (hi_region.contains(w))
+      hi_nets.push_back(ni);
+    else
+      crossing.push_back(ni);
+  }
+  nodes_[static_cast<std::size_t>(node)].nets = std::move(crossing);
+
+  // Children are created only when they hold nets: an empty child cannot
+  // route anything and would only pad the level lists.
+  auto add_child = [&](const util::GridRect& r) {
+    PartitionNode child;
+    child.region = r;
+    child.parent = node;
+    child.depth = depth + 1;
+    nodes_.push_back(std::move(child));
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+  if (!lo_nets.empty()) {
+    const int c = add_child(lo_region);
+    nodes_[static_cast<std::size_t>(node)].left = c;
+    build(c, std::move(lo_nets), limits);
+  }
+  if (!hi_nets.empty()) {
+    const int c = add_child(hi_region);
+    nodes_[static_cast<std::size_t>(node)].right = c;
+    build(c, std::move(hi_nets), limits);
+  }
+}
+
+}  // namespace sm::route

@@ -1,5 +1,6 @@
 #include "route/router.hpp"
 
+#include "route/partition_tree.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -8,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 namespace sm::route {
@@ -26,6 +28,17 @@ std::uint64_t RoutingStats::total_vias() const {
   std::uint64_t s = 0;
   for (const auto v : vias) s += v;
   return s;
+}
+
+const char* to_string(RoutePartition p) {
+  return p == RoutePartition::Tree ? "tree" : "rounds";
+}
+
+RoutePartition route_partition_from_string(const std::string& name) {
+  if (name == "tree") return RoutePartition::Tree;
+  if (name == "rounds") return RoutePartition::Rounds;
+  throw std::invalid_argument("route: unknown partition scheme '" + name +
+                              "' (want tree|rounds)");
 }
 
 std::vector<RouteTask> make_tasks(const netlist::Netlist& nl,
@@ -175,6 +188,8 @@ class Searcher {
     closed_mark_.assign(n, 0);
     target_mark_.assign(n, 0);
     tree_mark_.assign(n, 0);
+    wx1_ = grid.nx() - 1;
+    wy1_ = grid.ny() - 1;
     // Layer metadata resolved once: MetalStack::layer() is an out-of-line
     // call that shows up at 27M A* edge relaxations per sweep.
     preferred_.resize(static_cast<std::size_t>(grid.layers()) + 1);
@@ -192,6 +207,18 @@ class Searcher {
     const double norm = static_cast<double>(grid_->nx() + grid_->ny()) +
                         2.0 * static_cast<double>(grid_->layers());
     jitter_scale_ = opts_->tie_jitter * 0x1.0p-53 / norm;
+  }
+
+  /// Clip every subsequent search to the lateral window `w` (layers stay
+  /// unrestricted — via stacks and lifted wiring need them all). The tree
+  /// scheduler sets each net's own inflated bbox here; that containment is
+  /// what makes sibling subtrees non-interacting. Rounds mode never calls
+  /// this and keeps the constructor's full-grid window.
+  void set_window(const util::GridRect& w) {
+    wx0_ = w.x0;
+    wy0_ = w.y0;
+    wx1_ = w.x1;
+    wy1_ = w.y1;
   }
 
   /// Epoch-stamped membership set for the net tree under construction —
@@ -251,6 +278,7 @@ class Searcher {
       const GridPoint g = grid_->at(node);
       auto try_step = [&](const GridPoint& ng, double step_cost) {
         if (!grid_->in_bounds(ng) || ng.layer < min_layer) return;
+        if (ng.x < wx0_ || ng.x > wx1_ || ng.y < wy0_ || ng.y > wy1_) return;
         const std::size_t ni = grid_->index(ng);
         // Blockages forbid lateral wiring; vias (layer changes) pass.
         if (ng.layer == g.layer && cong_->blocked(ni)) return;
@@ -336,6 +364,7 @@ class Searcher {
   std::uint64_t jitter_seed_ = 0;
   double jitter_scale_ = 0.0;
   int tminx_ = 0, tmaxx_ = 0, tminy_ = 0, tmaxy_ = 0;
+  std::int32_t wx0_ = 0, wy0_ = 0, wx1_ = 0, wy1_ = 0;  ///< search window
 };
 
 /// Mutex-guarded free list of Searchers: a worker leases one per net and
@@ -529,15 +558,13 @@ RoutingResult Router::route(const std::vector<RouteTask>& tasks,
   if (jobs > 1 && tasks.size() > 1) pool.emplace(jobs);
   SearcherPool searchers(grid, stack, opts_, cong);
 
-  // Route `ripped` (already in commit order) chunk by chunk: the nets of
-  // one chunk route in parallel against the usage committed by all earlier
-  // chunks (plus the kept nets), then commit in order before the next
-  // chunk starts. The chunk partition depends only on the net count —
-  // never on jobs — so results stay bit-identical for any worker count,
-  // while the one-net-at-a-time PathFinder behaviour (lower layers fill
-  // up, later nets hop higher) is preserved at chunk granularity. Within a
-  // chunk each net's randomness comes from its own task_seed stream.
-  auto route_batch = [&](const std::vector<std::size_t>& ripped) {
+  // Rounds scheduler (escape hatch): route `ripped` (already in commit
+  // order) chunk by chunk — the nets of one chunk route in parallel against
+  // the usage committed by all earlier chunks (plus the kept nets), then
+  // commit in order before the next chunk starts. The chunk partition
+  // depends only on the net count — never on jobs — so results stay
+  // bit-identical for any worker count.
+  auto route_rounds_batch = [&](const std::vector<std::size_t>& ripped) {
     const std::size_t chunk = std::max<std::size_t>(16, ripped.size() / 64);
     for (std::size_t begin = 0; begin < ripped.size(); begin += chunk) {
       const std::size_t end = std::min(begin + chunk, ripped.size());
@@ -556,6 +583,151 @@ RoutingResult Router::route(const std::vector<RouteTask>& tasks,
       for (std::size_t k = begin; k < end; ++k)
         for (const auto nidx : state[ripped[k]].nodes) cong.add_usage(nidx, 1);
     }
+  };
+
+  // Tree scheduler: per-net clipped search windows (terminal bbox +
+  // bbox_margin, a property of the *problem*, computed once up front) and
+  // a work estimate for cutline balancing.
+  const util::GridRect grid_rect{0, 0, grid.nx() - 1, grid.ny() - 1};
+  std::vector<util::GridRect> window;
+  std::vector<std::uint64_t> work;
+  if (opts_.partition == RoutePartition::Tree) {
+    window.resize(tasks.size());
+    work.resize(tasks.size());
+    const std::int32_t margin =
+        static_cast<std::int32_t>(std::max(0, opts_.bbox_margin));
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      util::GridRect b;
+      for (const auto& term : tasks[i].terminals) {
+        const GridPoint g = grid.snap(term.pos, term.layer);
+        b.expand(g.x, g.y);
+      }
+      if (b.empty()) b = util::GridRect::around(0, 0);
+      // A* cost scales with the connection count and the bbox span.
+      work[i] =
+          (static_cast<std::uint64_t>(b.half_perimeter()) + 1) *
+          std::max<std::uint64_t>(
+              1, static_cast<std::uint64_t>(tasks[i].terminals.size()) - 1);
+      window[i] = b.inflated(margin).clamped(grid_rect);
+    }
+  }
+
+  // Tree depth at which parallel tasks fan out. Pure scheduling: any value
+  // yields the same routes (see run_subtree's order argument below).
+  auto spawn_depth = [&](int tree_depth) {
+    if (opts_.partition_depth >= 0)
+      return std::min(opts_.partition_depth, tree_depth);
+    int d = 0;  // auto: fan out until ~4 tasks per worker are possible
+    while (d < tree_depth && (std::size_t{1} << d) < 4 * jobs) ++d;
+    return d;
+  };
+
+  // Route one net inside its window and commit immediately: Tree mode's
+  // *live* congestion. Safe concurrently across sibling subtrees — a net
+  // reads and writes usage only inside its own window, which the tree
+  // keeps inside its node's region, and sibling regions are disjoint.
+  auto route_one_live = [&](std::size_t ti, Searcher& s) {
+    s.set_net(util::task_seed(opts_.seed, ti));
+    s.set_window(window[ti]);
+    route_net(grid, tasks[ti], s, state[ti]);
+    for (const auto nidx : state[ti].nodes) cong.add_usage(nidx, 1);
+  };
+
+  // One negotiation round under the tree scheduler. Determinism argument:
+  // the only net pairs that can observe each other's usage are pairs with
+  // overlapping windows, and such pairs always sit on one root-to-leaf
+  // path (same node, or ancestor/descendant — siblings' regions are
+  // disjoint, so their nets' windows cannot overlap). Any execution that
+  // (a) routes each node's nets in their fixed stored order and (b)
+  // finishes both child subtrees before the node's own cutline-crossing
+  // nets therefore produces identical routes — sequential post-order,
+  // level-synchronous parallel, and every partition_depth in between.
+  auto route_tree_batch = [&](const std::vector<std::size_t>& ripped) {
+    if (ripped.empty()) return;
+    std::vector<PartitionNet> pnets;
+    pnets.reserve(ripped.size());
+    for (const auto ti : ripped) pnets.push_back({ti, window[ti], work[ti]});
+    const PartitionTree tree(grid_rect, std::move(pnets));
+
+    auto run_node = [&](const PartitionNode& n, Searcher& s) {
+      for (const auto idx : n.nets) route_one_live(tree.nets()[idx].task, s);
+    };
+    // Sequential post-order over a whole subtree: children first, then the
+    // node's crossing nets — property (b) above, single-threaded.
+    auto run_subtree = [&](int root, Searcher& s) {
+      struct Frame {
+        int node;
+        bool expanded;
+      };
+      std::vector<Frame> stack{{root, false}};
+      while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const PartitionNode& n = tree.nodes()[static_cast<std::size_t>(f.node)];
+        if (f.expanded || n.is_leaf()) {
+          run_node(n, s);
+          continue;
+        }
+        stack.push_back({f.node, true});
+        if (n.right >= 0) stack.push_back({n.right, false});
+        if (n.left >= 0) stack.push_back({n.left, false});
+      }
+    };
+
+    if (!pool) {
+      auto s = searchers.acquire();
+      run_subtree(0, *s);
+      searchers.release(std::move(s));
+    } else {
+      const int fan = spawn_depth(tree.depth());
+      // Phase 1: every maximal subtree rooted at the fan-out depth is one
+      // sequential task; the tasks run concurrently (disjoint regions).
+      {
+        const auto& ids = tree.level(fan);
+        pool->parallel_for(ids.size(), [&](std::size_t k) {
+          auto s = searchers.acquire();
+          run_subtree(ids[k], *s);
+          searchers.release(std::move(s));
+        });
+      }
+      // Phase 2: the remaining levels bottom-up, one parallel batch per
+      // level. A node's children live at the next deeper level (phase 1 or
+      // an earlier batch), so they are committed — and the parallel_for
+      // join sequences the batches.
+      for (int level = fan - 1; level >= 0; --level) {
+        const auto& ids = tree.level(level);
+        pool->parallel_for(ids.size(), [&](std::size_t k) {
+          auto s = searchers.acquire();
+          run_node(tree.nodes()[static_cast<std::size_t>(ids[k])], *s);
+          searchers.release(std::move(s));
+        });
+      }
+    }
+
+    // Clipping can make a routable net fail (a forced detour past the
+    // margin). Retry those serially with the full grid, in fixed net order
+    // after everything else committed — same schedule for any jobs/depth.
+    bool any_failed = false;
+    for (const auto ti : ripped) any_failed |= !state[ti].route.success;
+    if (any_failed) {
+      auto s = searchers.acquire();
+      s->set_window(grid_rect);
+      for (const auto ti : ripped) {
+        if (state[ti].route.success) continue;
+        for (const auto nidx : state[ti].nodes) cong.add_usage(nidx, -1);
+        s->set_net(util::task_seed(opts_.seed, ti));
+        route_net(grid, tasks[ti], *s, state[ti]);
+        for (const auto nidx : state[ti].nodes) cong.add_usage(nidx, 1);
+      }
+      searchers.release(std::move(s));
+    }
+  };
+
+  auto route_batch = [&](const std::vector<std::size_t>& ripped) {
+    if (opts_.partition == RoutePartition::Tree)
+      route_tree_batch(ripped);
+    else
+      route_rounds_batch(ripped);
   };
 
   // Round 0: route everything.

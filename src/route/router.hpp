@@ -14,17 +14,37 @@
 // segment of such a task must run at or above that layer; terminals reach
 // it through via stacks, exactly like the pins of the custom cells.
 //
-// Negotiation is round-based with a snapshot-commit discipline so the net
-// re-routes of one round can shard over a util::ThreadPool: every round
-// first selects the nets to rip up (greedy keep-up-to-capacity in a fixed
-// net order), then re-routes them in fixed-size chunks — the nets of one
-// chunk route in parallel against the frozen usage/history committed so
-// far, then commit in the same fixed order before the next chunk starts.
-// The chunk partition is a function of the net count alone, searches never
-// observe sibling routes of their own chunk, and each net breaks cost ties
-// with its own util::task_seed-derived jitter stream, so the result is
-// bit-identical for every RouterOptions::jobs value (tests/test_route.cpp
-// holds this as a regression).
+// Negotiation is round-based: every round selects the nets to rip up
+// (greedy keep-up-to-capacity in a fixed net order) and re-routes them over
+// a util::ThreadPool. Two re-route schedulers exist (RouterOptions::
+// partition):
+//
+//   Tree (default) — a ParaDRo-style spatial partition tree over the
+//   ripped nets' search windows (route/partition_tree.hpp). Each net's A*
+//   is clipped to its terminal bbox inflated by bbox_margin; the net lands
+//   at the deepest tree node whose region contains that window. Sibling
+//   subtrees route *concurrently against live congestion* — a net only
+//   touches usage inside its own window, sibling regions are disjoint, so
+//   no interleaving of sibling work is observable. Within a node, nets
+//   route and commit one by one in the fixed net order; a node's own
+//   (cutline-crossing) nets route only after both child subtrees finished.
+//   Nets that fail inside their clipped window re-route serially at the
+//   root with the full grid after the tree pass. The only net pairs whose
+//   windows overlap are same-node or ancestor/descendant pairs, and the
+//   tree order fixes both — so routes are bit-identical for every `jobs`
+//   AND every `partition_depth` (the depth only caps where parallel tasks
+//   fan out; the tree itself is a pure function of nets + grid).
+//
+//   Rounds (escape hatch, --route-partition=rounds) — the former
+//   snapshot-commit scheme: ripped nets re-route in fixed-size chunks
+//   against the frozen usage/history committed so far, then commit in
+//   fixed order before the next chunk starts.
+//
+// Both schedulers draw each net's cost-tie jitter from its own
+// util::task_seed stream and lease epoch-stamped per-worker Searchers, so
+// which thread routes which net never leaks into results
+// (tests/test_route.cpp and tests/test_partition_tree.cpp hold the
+// bit-identity as regressions).
 #pragma once
 
 #include "netlist/netlist.hpp"
@@ -34,6 +54,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace sm::route {
@@ -92,6 +113,17 @@ struct Blockage {
   int max_layer = 10;
 };
 
+/// Scheduler for a negotiation round's net re-routes (header comment above).
+enum class RoutePartition {
+  Tree,    ///< spatial partition tree, live in-region congestion (default)
+  Rounds,  ///< legacy snapshot-commit chunks against frozen congestion
+};
+
+/// Parse "tree"/"rounds" (std::invalid_argument otherwise) — the CLI and
+/// bench --route-partition flags share this validated path.
+RoutePartition route_partition_from_string(const std::string& name);
+const char* to_string(RoutePartition p);
+
 struct RouterOptions {
   double gcell_um = 2.8;
   int passes = 3;            ///< rip-up & re-route rounds (>= 1)
@@ -110,6 +142,21 @@ struct RouterOptions {
   /// Worker threads for each round's net re-routes; 0 = hardware
   /// concurrency. Routes are bit-identical for every value.
   std::size_t jobs = 1;
+  /// Re-route scheduler (header comment). Tree changes which routes are
+  /// produced vs Rounds (live instead of frozen congestion, clipped
+  /// searches) — both are individually deterministic.
+  RoutePartition partition = RoutePartition::Tree;
+  /// Tree depth at which parallel tasks fan out: below it, whole subtrees
+  /// run as one sequential task (coarser tasks, fewer barriers); above it,
+  /// each tree level is a parallel batch. Scheduling granularity ONLY —
+  /// never changes routes. < 0 = auto (enough fan-out for ~4 tasks per
+  /// worker, clamped to the tree's own depth, which the grid extent and
+  /// net spread bound).
+  int partition_depth = -1;
+  /// Gcells added on every side of a net's terminal bbox to form its
+  /// clipped search window under Tree (detour headroom). Affects routes
+  /// (it is part of the problem, not the schedule).
+  int bbox_margin = 8;
   std::vector<Blockage> blockages;
 };
 

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -43,10 +44,12 @@ double now_ms() {
 /// Same flow tuning the benches and sm_flow use: M6 correction pins for
 /// ISCAS, M8 for superblue, utilization derated so the router stays
 /// congestion-free (bench/common.hpp is the reference).
-core::FlowOptions flow_for(const Task& t, const workloads::GenSpec& spec) {
+core::FlowOptions flow_for(const Task& t, const workloads::GenSpec& spec,
+                           std::size_t router_jobs) {
   core::FlowOptions f;
   f.seed = t.seed;
   f.router.passes = 3;
+  f.router.jobs = router_jobs;
   f.placer.seed = t.seed;
   if (t.superblue) {
     f.lift_layer = 8;
@@ -76,15 +79,15 @@ core::RandomizeOptions randomize_for(const Task& t) {
 /// whether this task builds them or reuses a sibling defense's build is
 /// invisible in the metrics.
 void run_task(const Task& t, const Grid& grid, const Options& opts,
-              const netlist::CellLibrary& lib, core::LayoutCache& cache,
-              Row* rows) {
+              std::size_t router_jobs, const netlist::CellLibrary& lib,
+              core::LayoutCache& cache, Row* rows) {
   const double t0 = now_ms();
   const auto spec = t.superblue
                         ? workloads::superblue_profile(t.benchmark, grid.scale)
                         : workloads::iscas85_profile(t.benchmark);
   const auto& nl = cache.netlist(
       t.cache_key, [&] { return workloads::generate(lib, spec, t.seed); });
-  const auto flow = flow_for(t, spec);
+  const auto flow = flow_for(t, spec, router_jobs);
 
   const netlist::Netlist* feol = &nl;
   const core::LayoutResult* layout = nullptr;
@@ -278,7 +281,8 @@ std::string Result::to_csv() const {
 
 std::string Result::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"jobs\": " << jobs << ",\n  \"wall_ms\": " << wall_ms
+  os << "{\n  \"jobs\": " << jobs << ",\n  \"router_jobs\": " << router_jobs
+     << ",\n  \"wall_ms\": " << wall_ms
      << ",\n  \"cache\": {\"netlists\": " << cache_stats.netlists
      << ", \"placements\": " << cache_stats.placements
      << ", \"base_routes\": " << cache_stats.base_routes
@@ -324,6 +328,15 @@ Result run(const Grid& grid, const Options& opts) {
   const std::size_t splits = grid.split_layers.size();
   result.rows.resize(tasks.size() * splits);
   result.jobs = util::resolve_jobs(opts.jobs, tasks.size());
+  // When the grid has fewer tasks than the requested worker budget, the
+  // leftover workers would idle — hand them to each task's router instead
+  // (the router is itself jobs-invariant, so this never changes metrics).
+  // A full grid keeps router_jobs = 1: task-level parallelism scales better
+  // than nested router threads.
+  const std::size_t budget = util::resolve_jobs(
+      opts.jobs, std::numeric_limits<std::size_t>::max());
+  result.router_jobs =
+      std::max<std::size_t>(1, budget / std::max<std::size_t>(1, result.jobs));
 
   // The libraries and the cache outlive every task (cached netlists keep a
   // pointer to their library); both are only read concurrently.
@@ -335,7 +348,7 @@ Result run(const Grid& grid, const Options& opts) {
   // Row block for task i is [i*splits, (i+1)*splits): grid-major order, and
   // no two tasks share a row — workers never contend on results.
   util::parallel_for(opts.jobs, tasks.size(), [&](std::size_t i) {
-    run_task(tasks[i], grid, opts,
+    run_task(tasks[i], grid, opts, result.router_jobs,
              tasks[i].superblue ? lib_superblue : lib_iscas, cache,
              result.rows.data() + i * splits);
   });

@@ -105,6 +105,11 @@ struct Row {
 struct Result {
   std::vector<Row> rows;  ///< grid-major: benchmark, seed, defense, split
   std::size_t jobs = 1;   ///< resolved worker count actually used
+  /// Router threads inside each task: the leftover worker budget when the
+  /// grid has fewer tasks than requested workers (budget / jobs), so
+  /// single-cell sweeps still exploit the pool at the router level. 1 on a
+  /// full grid. Never changes metrics — the router is jobs-invariant.
+  std::size_t router_jobs = 1;
   double wall_ms = 0.0;   ///< whole-sweep wall time
   /// Shared-stage build counters: netlists/base placements/base routes
   /// each run exactly once per (benchmark, seed) that needed them,
