@@ -1,10 +1,18 @@
 #!/usr/bin/env python3
 """CI perf-regression smoke for the sweep driver.
 
-Compares the wall time of a fresh quick-mode sweep (the ``--json`` export
-of ``sm_flow sweep --quick``) against the most recent ``quick_wall_ms``
-baseline recorded in BENCH_sweep.json, and fails when the fresh run is
-slower by more than a generous factor. The factor is deliberately loose
+Compares the wall time of a fresh quick-mode sweep against the most recent
+``quick_wall_ms`` baseline recorded in BENCH_sweep.json, and fails when the
+fresh run is slower by more than a generous factor. The fresh measurement
+comes from either
+
+* the ``--json`` export of ``sm_flow sweep --quick`` (its ``wall_ms``
+  whole-sweep field), or
+* a ``--store`` JSONL log: per-record ``wall_ms`` is the *task* wall shared
+  by every split of one (benchmark, seed, defense) triple, so the script
+  dedupes by that key (last record wins, mirroring the store's merge rule)
+  and sums the task walls. That sum is serial compute, not elapsed wall —
+  still exactly the right scale for an order-of-magnitude tripwire. The factor is deliberately loose
 (default 10x): CI machines differ wildly from the hosts the baselines were
 measured on, and this check only exists to catch order-of-magnitude
 regressions — an accidentally quadratic loop, a debug build, a scheduler
@@ -12,7 +20,7 @@ that stopped parallelizing — not single-digit percent drift. Track real
 performance by re-measuring BENCH_sweep.json entries on a pinned host.
 
 Usage:
-    check_sweep_perf.py FRESH_JSON BASELINE_JSON [--factor=F]
+    check_sweep_perf.py FRESH_JSON_OR_STORE_JSONL BASELINE_JSON [--factor=F]
 
 Baseline selection: the latest BENCH_sweep.json entry carrying a
 ``quick_wall_ms`` field, preferring entries whose ``host_hardware_threads``
@@ -37,6 +45,44 @@ def load(path):
     except (OSError, ValueError) as err:
         print(f"check_sweep_perf: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
+
+
+def store_wall_ms(path):
+    """Summed per-task wall from a store JSONL log, or None if `path` is
+    not one. Splits of one task share the task's wall, so records are
+    deduped by (benchmark, seed, defense) with last-wins — the same merge
+    rule load_store applies — before summing. Torn tail lines (a crashed
+    shard) are skipped, like the store loader does."""
+    walls = {}
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue  # torn final line of a crashed run
+                if not isinstance(rec, dict) or "config_hash" not in rec:
+                    return None  # some other JSON file, not a store log
+                key = (rec.get("benchmark"), rec.get("seed"),
+                       rec.get("defense"))
+                walls[key] = rec.get("wall_ms", 0.0)
+    except OSError:
+        return None
+    total = sum(w for w in walls.values() if isinstance(w, (int, float)))
+    return total if total > 0 else None
+
+
+def fresh_wall_ms(path):
+    """Wall time of the fresh run: sweep --json export or store JSONL."""
+    wall = store_wall_ms(path)
+    if wall is not None:
+        return wall
+    fresh = load(path)
+    wall = fresh.get("wall_ms") if isinstance(fresh, dict) else None
+    return wall if isinstance(wall, (int, float)) and wall > 0 else None
 
 
 def pick_baseline(entries, host_threads):
@@ -65,9 +111,8 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
 
-    fresh = load(paths[0])
-    wall_ms = fresh.get("wall_ms")
-    if not isinstance(wall_ms, (int, float)) or wall_ms <= 0:
+    wall_ms = fresh_wall_ms(paths[0])
+    if wall_ms is None:
         print(f"check_sweep_perf: no usable wall_ms in {paths[0]}",
               file=sys.stderr)
         return 2

@@ -12,7 +12,11 @@
 //                      PPA in one table (the quickstart, tabulated).
 //   sm_flow sweep    — parallel attack sweep over {benchmarks × seeds ×
 //                      split layers × defenses} through util::ThreadPool;
-//                      bit-identical metrics for any --jobs value.
+//                      bit-identical metrics for any --jobs value. With
+//                      --store the sweep appends every completed cell to an
+//                      append-only JSONL log (crash-safe resume via
+//                      --resume, deterministic --shard i/N splits).
+//   sm_flow materialize — rebuild the sweep tables from store logs alone.
 //   sm_flow list     — available benchmark profiles.
 //
 // Every stage is deterministic in (bench, scale, seed), so later stages
@@ -23,6 +27,7 @@
 #include "attack/proximity.hpp"
 #include "core/defio.hpp"
 #include "netlist/verilog.hpp"
+#include "sweep/store.hpp"
 #include "sweep/sweep.hpp"
 #include "util/table.hpp"
 
@@ -30,7 +35,9 @@
 #include <exception>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 
 namespace sm::cli {
@@ -60,6 +67,18 @@ int usage(std::FILE* to) {
       "            [--splits=3,4,5] [--defenses=unprotected,proposed]\n"
       "            [--quick] [--csv=F] [--json=F] [--summary-only]\n"
       "            (--bench/--seed/--split-layer alias the grid dimensions)\n"
+      "            [--store=F] append every completed cell to an append-only\n"
+      "            JSONL result log keyed by config hash (fsync per cell)\n"
+      "            [--resume] skip cells already in the store, compute only\n"
+      "            the missing ones (bit-identical to a from-scratch run)\n"
+      "            [--shard=i/N] run only task i mod N of the grid; shard\n"
+      "            logs merge (cat) into one store\n"
+      "            [--dry-run] print the expanded cell list with config\n"
+      "            hashes and shard assignments, then exit without running\n"
+      "  materialize  rebuild sweep tables from store logs without running\n"
+      "            anything: --store=F[,F2,...] plus the sweep grid flags;\n"
+      "            exits 1 listing any grid cell missing from the logs\n"
+      "            [--csv=F] [--json=F] [--summary-only]\n"
       "  list      available benchmark profiles\n"
       "\n"
       "common options:\n"
@@ -263,11 +282,10 @@ int cmd_report(const util::Args& args, const FlowSetup& setup) {
   return design.restored_ok ? 0 : 1;
 }
 
-/// sm_flow sweep: expand the grid from --grid/--benchmarks/--seeds/--splits/
-/// --defenses (individual flags override the --grid spec), run it over
-/// --jobs threads, print the per-cell and summary tables, and export CSV/
-/// JSON on request. --quick clips the default grid for smoke runs.
-int cmd_sweep(const util::Args& args) {
+/// Grid + patterns parsing shared by `sweep` and `materialize` — the two
+/// must expand identical cells (and therefore identical config hashes) for
+/// the same flags, or a materialize could never find what a sweep stored.
+sweep::Grid grid_from_args(const util::Args& args, bool quick) {
   sweep::Grid grid =
       args.has("grid") ? sweep::Grid::parse(args.get("grid", "")) : sweep::Grid{};
   // Same validated parsing as the --grid spec (sweep::Grid::set), so
@@ -285,37 +303,152 @@ int cmd_sweep(const util::Args& args) {
     if (args.has(flag)) grid.set(key, args.get(flag, ""));
   if (args.has("scale")) grid.set("scale", args.get("scale", ""));
 
-  const bool quick = args.get_bool("quick", false);
   if (grid.benchmarks.empty())
     grid.benchmarks = quick ? std::vector<std::string>{"c432", "c880"}
                             : workloads::iscas85_names();
   if (quick && !args.has("grid") && !args.has("splits") &&
       !args.has("split-layer"))
     grid.split_layers = {4};
+  return grid;
+}
 
-  sweep::Options opts;
-  opts.jobs = args.get_count("jobs", 1);
-  opts.patterns = args.get_count("patterns", quick ? 2000 : 100000);
+/// "--shard=i/N" → (i, N). Strict: plain digits, one '/', i < N, N >= 1.
+std::pair<std::size_t, std::size_t> parse_shard(const std::string& spec) {
+  const auto slash = spec.find('/');
+  const auto digits = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s)
+      if (c < '0' || c > '9') return false;
+    return true;
+  };
+  if (slash == std::string::npos || !digits(spec.substr(0, slash)) ||
+      !digits(spec.substr(slash + 1)))
+    throw std::invalid_argument("sweep: bad --shard '" + spec +
+                                "' (want i/N, e.g. 0/2)");
+  const std::size_t index = std::stoull(spec.substr(0, slash));
+  const std::size_t count = std::stoull(spec.substr(slash + 1));
+  if (count == 0 || index >= count)
+    throw std::invalid_argument("sweep: --shard index " + spec +
+                                " out of range");
+  return {index, count};
+}
 
-  std::printf("sweep: %zu cells (%zu benchmarks x %zu seeds x %zu splits x "
-              "%zu defenses), --jobs=%zu\n",
-              grid.combinations(), grid.benchmarks.size(), grid.seeds.size(),
-              grid.split_layers.size(), grid.defenses.size(), opts.jobs);
-
-  const auto result = sweep::run(grid, opts);
+void print_result_tables(const util::Args& args, const sweep::Result& result) {
   if (!args.has("summary-only"))
     std::fputs(result.table().render().c_str(), stdout);
   std::printf("\nmean over seeds and split layers:\n");
   std::fputs(result.summary().render().c_str(), stdout);
-  std::printf("\nsweep wall time: %.0f ms (%zu cells, %zu worker threads)\n",
-              result.wall_ms, result.rows.size(), result.jobs);
+}
 
+int export_result(const util::Args& args, const sweep::Result& result) {
   if (args.has("csv") &&
       !write_output(out_path(args, "csv"), result.to_csv()))
     return 1;
   if (args.has("json") &&
       !write_output(out_path(args, "json"), result.to_json()))
     return 1;
+  return 0;
+}
+
+/// sm_flow sweep: expand the grid from --grid/--benchmarks/--seeds/--splits/
+/// --defenses (individual flags override the --grid spec), run it over
+/// --jobs threads, print the per-cell and summary tables, and export CSV/
+/// JSON on request. --quick clips the default grid for smoke runs.
+/// --store/--resume/--shard bring in the event-sourced result log
+/// (sweep/store.hpp); --dry-run prints the expanded cell list (with config
+/// hashes and shard assignments) and exits without computing anything.
+int cmd_sweep(const util::Args& args) {
+  const bool quick = args.get_bool("quick", false);
+  const sweep::Grid grid = grid_from_args(args, quick);
+
+  sweep::Options opts;
+  opts.jobs = args.get_count("jobs", 1);
+  opts.patterns = args.get_count("patterns", quick ? 2000 : 100000);
+  opts.store_path = args.has("store") ? args.get("store", "") : "";
+  opts.resume = args.get_bool("resume", false);
+  if (args.has("shard"))
+    std::tie(opts.shard_index, opts.shard_count) =
+        parse_shard(args.get("shard", ""));
+  if (opts.resume && opts.store_path.empty())
+    throw std::invalid_argument("sweep: --resume requires --store=FILE");
+
+  if (args.get_bool("dry-run", false)) {
+    // Shard planning / store debugging view: every cell the flags expand
+    // to, its config hash (the store key), and which shard would run it.
+    const auto cells = sweep::expand_cells(grid, opts);
+    std::printf("sweep dry run: %zu cells (%zu benchmarks x %zu seeds x "
+                "%zu splits x %zu defenses), %zu shards\n",
+                cells.size(), grid.benchmarks.size(), grid.seeds.size(),
+                grid.split_layers.size(), grid.defenses.size(),
+                opts.shard_count);
+    for (const auto& cell : cells) {
+      const std::size_t shard = cell.task_index % opts.shard_count;
+      const bool mine = shard == opts.shard_index;
+      std::printf("  shard %zu%s  %s\n", shard,
+                  opts.shard_count > 1 ? (mine ? " *" : "  ") : "",
+                  sweep::describe(cell).c_str());
+    }
+    return 0;
+  }
+
+  std::printf("sweep: %zu cells (%zu benchmarks x %zu seeds x %zu splits x "
+              "%zu defenses), --jobs=%zu",
+              grid.combinations(), grid.benchmarks.size(), grid.seeds.size(),
+              grid.split_layers.size(), grid.defenses.size(), opts.jobs);
+  if (opts.shard_count > 1)
+    std::printf(", shard %zu/%zu", opts.shard_index, opts.shard_count);
+  if (!opts.store_path.empty())
+    std::printf(", store %s%s", opts.store_path.c_str(),
+                opts.resume ? " (resume)" : "");
+  std::printf("\n");
+
+  const auto result = sweep::run(grid, opts);
+  print_result_tables(args, result);
+  std::printf("\nsweep wall time: %.0f ms (%zu cells, %zu worker threads)\n",
+              result.wall_ms, result.rows.size(), result.jobs);
+  if (!opts.store_path.empty())
+    std::printf("store: %zu cells computed and appended, %zu resumed from "
+                "%s\n",
+                result.computed_cells, result.resumed_cells,
+                opts.store_path.c_str());
+  return export_result(args, result);
+}
+
+/// sm_flow materialize: rebuild the sweep tables for a grid purely from
+/// store logs — the query side of the event-sourced store. Accepts several
+/// comma-separated logs (shard outputs) and merges them last-wins; any
+/// grid cell absent from the logs is listed and the exit status is 1.
+int cmd_materialize(const util::Args& args) {
+  if (!args.has("store"))
+    throw std::invalid_argument("materialize: --store=FILE[,FILE...] is "
+                                "required");
+  const auto paths = util::split_list(args.get("store", ""));
+  if (paths.empty())
+    throw std::invalid_argument("materialize: --store lists no files");
+
+  const bool quick = args.get_bool("quick", false);
+  const sweep::Grid grid = grid_from_args(args, quick);
+  sweep::Options opts;
+  opts.patterns = args.get_count("patterns", quick ? 2000 : 100000);
+
+  const auto store = sweep::load_store(paths, /*must_exist=*/true);
+  std::printf("materialize: %zu records from %zu log(s) (%zu lines, "
+              "%zu skipped, %zu superseded duplicates)\n",
+              store.records.size(), paths.size(), store.lines, store.skipped,
+              store.duplicates);
+
+  const auto mat = sweep::materialize(grid, opts, store);
+  print_result_tables(args, mat.result);
+  std::printf("\nmaterialized %zu/%zu grid cells from the store\n",
+              mat.result.rows.size(), grid.combinations());
+  if (const int rc = export_result(args, mat.result); rc != 0) return rc;
+  if (!mat.missing.empty()) {
+    std::fprintf(stderr, "materialize: %zu cells missing from the store:\n",
+                 mat.missing.size());
+    for (const auto& cell : mat.missing)
+      std::fprintf(stderr, "  %s\n", sweep::describe(cell).c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -336,9 +469,10 @@ int run(int argc, char** argv) {
   if (cmd == "list") return cmd_list();
 
   const util::Args args(argc - 1, argv + 1);
-  // sweep carries its own grid of benchmarks/seeds/splits; the single-run
-  // FlowSetup does not apply.
+  // sweep/materialize carry their own grid of benchmarks/seeds/splits; the
+  // single-run FlowSetup does not apply.
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "materialize") return cmd_materialize(args);
   const FlowSetup setup = parse_setup(args);
   if (cmd == "protect") return cmd_protect(args, setup);
   if (cmd == "split") return cmd_split(args, setup);

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "sim/simulator.hpp"
+#include "util/config_hash.hpp"
 
 #include <utility>
 
@@ -22,6 +23,67 @@ timing::PpaReport evaluate_ppa(const Netlist& nl, const LayoutResult& layout,
   const auto activity =
       sim::toggle_rates(nl, opts.activity_patterns, opts.seed ^ 0xac7ULL);
   return sta.analyze(nl, layout.placement, layout.routing, activity, extra);
+}
+
+std::string canonical_flow_json(const FlowOptions& opts) {
+  // Keys are lexicographic within each object (the canonical-JSON
+  // convention of util::config_hash); adding a field here intentionally
+  // changes every hash — bump-and-recompute is the upgrade path, silently
+  // reusing stale cells is the failure mode this guards against.
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("activity_patterns").value(opts.activity_patterns);
+  w.key("auto_gcell").value(opts.auto_gcell);
+  w.key("buffering").value(opts.buffering);
+  w.key("buffering_opts").begin_object();
+  w.key("hpwl_threshold_um").value(opts.buffering_opts.hpwl_threshold_um);
+  w.key("strength2_um").value(opts.buffering_opts.strength2_um);
+  w.key("strength4_um").value(opts.buffering_opts.strength4_um);
+  w.key("strength8_um").value(opts.buffering_opts.strength8_um);
+  w.end_object();
+  w.key("lift_layer").value(opts.lift_layer);
+  w.key("op").begin_object();
+  w.key("clock_period_ns").value(opts.op.clock_period_ns);
+  w.key("default_activity").value(opts.op.default_activity);
+  w.key("vdd").value(opts.op.vdd);
+  w.end_object();
+  w.key("placer").begin_object();
+  w.key("aspect_ratio").value(opts.placer.aspect_ratio);
+  w.key("detailed_passes").value(opts.placer.detailed_passes);
+  w.key("fm_balance").value(opts.placer.fm_balance);
+  w.key("fm_passes").value(opts.placer.fm_passes);
+  w.key("force_alpha").value(opts.placer.force_alpha);
+  w.key("force_iterations").value(opts.placer.force_iterations);
+  w.key("leaf_cells").value(opts.placer.leaf_cells);
+  w.key("seed").value(opts.placer.seed);
+  w.key("target_utilization").value(opts.placer.target_utilization);
+  w.end_object();
+  w.key("router").begin_object();
+  w.key("bbox_margin").value(opts.router.bbox_margin);
+  w.key("blockages").begin_array();
+  for (const auto& b : opts.router.blockages) {
+    w.begin_object();
+    w.key("max_layer").value(b.max_layer);
+    w.key("min_layer").value(b.min_layer);
+    w.key("x0").value(b.region.lo.x);
+    w.key("x1").value(b.region.hi.x);
+    w.key("y0").value(b.region.lo.y);
+    w.key("y1").value(b.region.hi.y);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("gcell_um").value(opts.router.gcell_um);
+  w.key("history_increment").value(opts.router.history_increment);
+  w.key("overflow_penalty").value(opts.router.overflow_penalty);
+  w.key("partition").value(route::to_string(opts.router.partition));
+  w.key("passes").value(opts.router.passes);
+  w.key("seed").value(opts.router.seed);
+  w.key("tie_jitter").value(opts.router.tie_jitter);
+  w.key("via_cost").value(opts.router.via_cost);
+  w.end_object();
+  w.key("seed").value(opts.seed);
+  w.end_object();
+  return w.str();
 }
 
 PlacedDesign place_design(const Netlist& nl, const FlowOptions& opts) {

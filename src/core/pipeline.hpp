@@ -61,6 +61,18 @@ timing::PpaReport evaluate_ppa(const netlist::Netlist& nl,
                                const FlowOptions& opts,
                                const std::vector<timing::NetExtra>& extra = {});
 
+/// Canonical JSON of every FlowOptions field that can change a layout —
+/// the flow half of a sweep cell's config hash (util::config_hash over the
+/// cell recipe, see sweep/store.hpp). Covers the placer, the router, the
+/// lift layer, the operating point, the activity/seed inputs, and the
+/// buffering knobs. Deliberately EXCLUDED, because they are scheduling
+/// only and provably never change results: `router.jobs` and
+/// `router.partition_depth` (both bit-identity-tested) — two runs that
+/// differ only in those must resolve to the same stored cell.
+/// `buffering_opts.skip` is also omitted: it is per-call runtime state
+/// (the protected-net list), fully determined by fields already hashed.
+std::string canonical_flow_json(const FlowOptions& opts);
+
 /// Memoizes the defense-independent stage products of benchmark instances:
 /// the generated netlist, its placement (stage 1), and the unprotected
 /// base layout (stage 2). Stages build lazily and independently — a sweep

@@ -1,0 +1,230 @@
+#include "sweep/store.hpp"
+
+#include "core/pipeline.hpp"
+#include "util/config_hash.hpp"
+#include "util/json.hpp"
+#include "workloads/generator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace sm::sweep {
+
+std::string describe(const CellRef& cell) {
+  std::ostringstream os;
+  os << cell.benchmark << " seed=" << cell.seed << " M" << cell.split_layer
+     << ' ' << to_string(cell.defense) << " [" << cell.config_hash << ']';
+  return os.str();
+}
+
+std::string cell_config_json(const Grid& grid, const Options& opts,
+                             const std::string& benchmark, bool superblue,
+                             std::uint64_t seed, Defense defense,
+                             int split_layer) {
+  // Lexicographic keys — the canonical-JSON convention. The "format" tag
+  // versions the recipe schema itself: field additions/removals bump it so
+  // an old log can never silently satisfy a new recipe.
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("benchmark").value(benchmark);
+  w.key("defense").value(to_string(defense));
+  w.key("flow").raw(
+      core::canonical_flow_json(task_flow(benchmark, superblue, seed,
+                                          grid.scale)));
+  w.key("format").value("sm-sweep-cell-v1");
+  w.key("patterns").value(opts.patterns);
+  if (defense == Defense::Proposed) {
+    // Randomization exists only inside protect(); hashing it into
+    // unprotected cells would invalidate them on randomizer tuning
+    // changes that cannot affect their metrics.
+    const auto r = task_randomize(seed);
+    w.key("randomize").begin_object();
+    w.key("check_patterns").value(r.check_patterns);
+    w.key("seed").value(r.seed);
+    w.key("target_oer").value(r.target_oer);
+    w.end_object();
+  }
+  w.key("scale").value(grid.scale);
+  w.key("seed").value(seed);
+  w.key("split_layer").value(split_layer);
+  w.end_object();
+  return w.str();
+}
+
+std::vector<CellRef> expand_cells(const Grid& grid, const Options& opts) {
+  // Validate every benchmark before expanding anything — a typo must throw
+  // even when the split list is empty and no cells would exist.
+  const auto& sb = workloads::superblue_names();
+  const auto& iscas = workloads::iscas85_names();
+  std::vector<bool> is_superblue(grid.benchmarks.size());
+  for (std::size_t bi = 0; bi < grid.benchmarks.size(); ++bi) {
+    const auto& bench = grid.benchmarks[bi];
+    is_superblue[bi] = std::find(sb.begin(), sb.end(), bench) != sb.end();
+    if (!is_superblue[bi] &&
+        std::find(iscas.begin(), iscas.end(), bench) == iscas.end())
+      throw std::invalid_argument("sweep: unknown benchmark '" + bench + "'");
+  }
+
+  std::vector<CellRef> cells;
+  cells.reserve(grid.combinations());
+  std::size_t task_index = 0;
+  for (std::size_t bi = 0; bi < grid.benchmarks.size(); ++bi) {
+    for (const auto seed : grid.seeds) {
+      for (const auto defense : grid.defenses) {
+        for (std::size_t li = 0; li < grid.split_layers.size(); ++li) {
+          CellRef c;
+          c.task_index = task_index;
+          c.split_index = li;
+          c.benchmark = grid.benchmarks[bi];
+          c.seed = seed;
+          c.defense = defense;
+          c.split_layer = grid.split_layers[li];
+          c.superblue = is_superblue[bi];
+          c.config_hash = util::config_hash(
+              cell_config_json(grid, opts, c.benchmark, c.superblue, seed,
+                               defense, c.split_layer));
+          cells.push_back(std::move(c));
+        }
+        ++task_index;
+      }
+    }
+  }
+  return cells;
+}
+
+std::string to_store_line(const StoreRecord& rec) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("benchmark").value(rec.row.benchmark);
+  w.key("ccr").value(rec.row.ccr);
+  w.key("ccr_protected").value(rec.row.ccr_protected);
+  if (!rec.config_json.empty()) w.key("config").raw(rec.config_json);
+  w.key("config_hash").value(rec.config_hash);
+  w.key("defense").value(to_string(rec.row.defense));
+  w.key("hd").value(rec.row.hd);
+  w.key("oer").value(rec.row.oer);
+  w.key("open_sinks").value(rec.row.open_sinks);
+  w.key("patterns").value(rec.patterns);
+  w.key("scale").value(rec.scale);
+  w.key("seed").value(rec.row.seed);
+  w.key("split_layer").value(rec.row.split_layer);
+  w.key("swaps").value(rec.row.swaps);
+  w.key("wall_ms").value(rec.row.wall_ms);
+  w.end_object();
+  return w.str();
+}
+
+StoreRecord parse_store_line(const std::string& line) {
+  const auto v = util::json::parse(line);
+  if (!v.is_object())
+    throw std::invalid_argument("store: record line is not an object");
+  StoreRecord rec;
+  rec.config_hash = v.at("config_hash").as_string();
+  rec.row.benchmark = v.at("benchmark").as_string();
+  rec.row.seed = v.at("seed").as_u64();
+  rec.row.split_layer = static_cast<int>(v.at("split_layer").as_int());
+  rec.row.defense = defense_from_string(v.at("defense").as_string());
+  rec.row.ccr = v.at("ccr").as_double();
+  rec.row.ccr_protected = v.at("ccr_protected").as_double();
+  rec.row.oer = v.at("oer").as_double();
+  rec.row.hd = v.at("hd").as_double();
+  rec.row.open_sinks = static_cast<std::size_t>(v.at("open_sinks").as_u64());
+  rec.row.swaps = static_cast<std::size_t>(v.at("swaps").as_u64());
+  rec.row.wall_ms = v.at("wall_ms").as_double();
+  rec.patterns = static_cast<std::size_t>(v.at("patterns").as_u64());
+  rec.scale = v.at("scale").as_double();
+  return rec;
+}
+
+StoreWriter::StoreWriter(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("store: cannot open '" + path_ +
+                             "': " + std::strerror(errno));
+}
+
+StoreWriter::~StoreWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void StoreWriter::append(const StoreRecord& rec) {
+  std::string line = to_store_line(rec);
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(mu_);
+  // One write(2) per record: O_APPEND makes concurrent appends (other
+  // shards pointed at the same log) land whole-line, and the fsync makes
+  // the record durable before the task is considered complete.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const auto n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("store: write to '" + path_ +
+                               "' failed: " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0)
+    throw std::runtime_error("store: fsync of '" + path_ +
+                             "' failed: " + std::strerror(errno));
+}
+
+StoreContents load_store(const std::vector<std::string>& paths,
+                         bool must_exist) {
+  StoreContents out;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      if (must_exist)
+        throw std::runtime_error("store: cannot read '" + path + "'");
+      continue;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++out.lines;
+      StoreRecord rec;
+      try {
+        rec = parse_store_line(line);
+      } catch (const std::invalid_argument&) {
+        // A crash can tear the final line of a log (and a merged store
+        // inherits such tails mid-file); the record it would have held
+        // was never acknowledged, so skipping is the correct recovery.
+        ++out.skipped;
+        continue;
+      }
+      auto [it, inserted] =
+          out.records.insert_or_assign(rec.config_hash, std::move(rec));
+      (void)it;
+      if (!inserted) ++out.duplicates;
+    }
+  }
+  return out;
+}
+
+Materialized materialize(const Grid& grid, const Options& opts,
+                         const StoreContents& store) {
+  Materialized out;
+  const auto cells = expand_cells(grid, opts);
+  out.result.rows.reserve(cells.size());
+  for (const auto& cell : cells) {
+    const auto it = store.records.find(cell.config_hash);
+    if (it == store.records.end()) {
+      out.missing.push_back(cell);
+      continue;
+    }
+    out.result.rows.push_back(it->second.row);
+    ++out.result.resumed_cells;
+  }
+  return out;
+}
+
+}  // namespace sm::sweep

@@ -1,0 +1,152 @@
+// Event-sourced sweep store: append-only result log + materialized tables.
+//
+// The sweep's headline tables are a {benchmark × seed × split × defense}
+// cross product, and before this module every invocation recomputed the
+// whole grid in memory — one crash or config tweak lost every completed
+// cell. The store follows the event-sourced scrape→materialize shape: the
+// *log* is the source of truth (one immutable JSON record per completed
+// cell, appended and fsync'd the moment its task finishes), and tables are
+// *materializations* rebuilt from the log on demand.
+//
+//   run(store)  ──append──▶  results.jsonl  ──materialize──▶  Result tables
+//                             (JSONL, one                      (CSV/JSON/
+//                              record/cell)                     summary)
+//
+// Records are keyed by a config hash — util::config_hash over the cell's
+// canonical recipe JSON: (benchmark, seed, split_layer, defense, patterns,
+// scale, flow options via core::canonical_flow_json, randomize options for
+// protected cells). Anything that can change a metric is in the hash;
+// scheduling knobs (jobs, partition_depth, shard assignment) and wall
+// time are NOT — two runs differing only in those resolve to the same
+// cell. tests/test_store.cpp pins golden hashes across releases.
+//
+// Consequences the sweep builds on:
+//   - crash-safe resume: `run` with Options::resume skips cells whose hash
+//     is already in the log and computes only the missing ones; a resumed
+//     run's rows are bit-identical to a from-scratch run (wall_ms aside);
+//   - sharding: `--shard i/N` deterministically splits the task list, each
+//     shard appends to its own log, and the concatenation of shard logs
+//     materializes byte-identically to the unsharded sweep's table
+//     (records are keyed, so merge order is irrelevant and duplicate keys
+//     are last-wins);
+//   - provenance: every record embeds the full canonical recipe, so any
+//     table row can be traced to the exact configuration that produced it.
+//
+// wall_ms provenance: the stored wall time is the *task* wall (one layout
+// shared by all split layers of a (benchmark, seed, defense) triple), it
+// is excluded from the config hash, and it is the one field outside the
+// resume/shard determinism contract — scripts/check_sweep_perf.py reads
+// perf baselines from it, tables merely display it.
+#pragma once
+
+#include "sweep/sweep.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sm::sweep {
+
+/// Identity of one grid cell within a sweep configuration.
+struct CellRef {
+  std::size_t task_index = 0;  ///< (benchmark, seed, defense) triple, grid-major
+  std::size_t split_index = 0; ///< position in Grid::split_layers
+  std::string benchmark;
+  std::uint64_t seed = 0;
+  Defense defense = Defense::Unprotected;
+  int split_layer = 0;
+  bool superblue = false;
+  std::string config_hash;  ///< util::config_hash(cell_config_json(...))
+};
+
+/// "c432 seed=1 M4 unprotected [<hash>]" — dry-run and missing-cell output.
+std::string describe(const CellRef& cell);
+
+/// The canonical recipe JSON a cell's config hash digests. Pure function
+/// of its arguments; `sm_flow sweep --dry-run` prints the derived hashes
+/// and tests/test_store.cpp pins golden values.
+std::string cell_config_json(const Grid& grid, const Options& opts,
+                             const std::string& benchmark, bool superblue,
+                             std::uint64_t seed, Defense defense,
+                             int split_layer);
+
+/// Expand the grid into grid-major cells (benchmark, seed, defense major;
+/// split innermost — exactly the row order of Result::rows) with config
+/// hashes. Validates every benchmark name up front (std::invalid_argument)
+/// even when the split list is empty. Shard options do NOT filter here —
+/// callers own that (`task_index % shard_count == shard_index`).
+std::vector<CellRef> expand_cells(const Grid& grid, const Options& opts);
+
+/// One event in the log: a completed cell and its full recipe. `row`
+/// carries the grid coordinates and metrics; `row.wall_ms` is the task
+/// wall time (see header note — provenance only, outside the hash and the
+/// determinism contract).
+struct StoreRecord {
+  std::string config_hash;
+  Row row;
+  std::size_t patterns = 0;
+  double scale = 0.0;
+  std::string config_json;  ///< full canonical recipe (may be empty on load)
+};
+
+/// Serialize to one JSONL line (no trailing newline) / parse one line.
+/// Doubles round-trip exactly (util::format_double), so a materialized row
+/// is bit-identical to the computed one. parse throws std::invalid_argument
+/// on torn or malformed lines.
+std::string to_store_line(const StoreRecord& rec);
+StoreRecord parse_store_line(const std::string& line);
+
+/// Append-only log writer: opens O_APPEND, writes one record per line and
+/// fsyncs each append — a crash never loses an acknowledged cell and at
+/// most tears the final line (which load_store tolerates). Thread-safe:
+/// workers append as their tasks complete, each line is written with a
+/// single write(2).
+class StoreWriter {
+ public:
+  explicit StoreWriter(std::string path);  ///< throws std::runtime_error
+  ~StoreWriter();
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  void append(const StoreRecord& rec);  ///< throws std::runtime_error on I/O
+  const std::string& path() const { return path_; }
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// A loaded (possibly merged) store: records keyed by config hash,
+/// duplicate keys last-wins — so `cat shard0.jsonl shard1.jsonl` or
+/// re-running a sweep into the same log are both valid stores.
+struct StoreContents {
+  std::map<std::string, StoreRecord> records;
+  std::size_t lines = 0;       ///< non-empty lines seen
+  std::size_t skipped = 0;     ///< unparsable lines (torn crash tails)
+  std::size_t duplicates = 0;  ///< keys overwritten by a later record
+};
+
+/// Read and merge store logs in order. With `must_exist` false a missing
+/// file contributes nothing (first run of a resumable sweep); with true it
+/// throws std::runtime_error (materialize of a typo'd path must not
+/// silently produce an empty table).
+StoreContents load_store(const std::vector<std::string>& paths,
+                         bool must_exist);
+
+/// Rebuild a Result from the log: grid-major rows for every cell whose
+/// hash the store holds, absent cells listed in `missing`. The table is a
+/// pure materialization — compute fields (jobs, cache_stats, sweep
+/// wall_ms) stay zero/defaults and every row's wall_ms comes from its
+/// record.
+struct Materialized {
+  Result result;
+  std::vector<CellRef> missing;
+};
+Materialized materialize(const Grid& grid, const Options& opts,
+                         const StoreContents& store);
+
+}  // namespace sm::sweep

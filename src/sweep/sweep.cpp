@@ -5,7 +5,9 @@
 #include "core/pipeline.hpp"
 #include "core/protect.hpp"
 #include "core/split.hpp"
+#include "sweep/store.hpp"
 #include "util/args.hpp"
+#include "util/config_hash.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/generator.hpp"
@@ -13,8 +15,10 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -41,53 +45,36 @@ double now_ms() {
       .count();
 }
 
-/// Same flow tuning the benches and sm_flow use: M6 correction pins for
-/// ISCAS, M8 for superblue, utilization derated so the router stays
-/// congestion-free (bench/common.hpp is the reference).
-core::FlowOptions flow_for(const Task& t, const workloads::GenSpec& spec,
-                           std::size_t router_jobs) {
-  core::FlowOptions f;
-  f.seed = t.seed;
-  f.router.passes = 3;
-  f.router.jobs = router_jobs;
-  f.placer.seed = t.seed;
-  if (t.superblue) {
-    f.lift_layer = 8;
-    f.placer.target_utilization = spec.utilization * 0.5;
-    f.placer.detailed_passes = 1;
-  } else {
-    f.lift_layer = 6;
-    f.placer.target_utilization = 0.45;
-    f.placer.detailed_passes = 2;
-  }
-  return f;
-}
+/// Fires once per cell this task actually computed, after the task's rows
+/// (including the shared wall stamp) are final — the store appends here,
+/// so a record only ever describes a completed, fully-written cell.
+using CellCallback = std::function<void(std::size_t split_index)>;
 
-core::RandomizeOptions randomize_for(const Task& t) {
-  core::RandomizeOptions r;
-  r.seed = t.seed;
-  r.target_oer = 0.995;
-  r.check_patterns = 4096;
-  return r;
-}
-
-/// Run one task and fill its split-layer rows (rows[0..splits-1]).
-/// Everything written to `rows` is a function of the task's grid
-/// coordinates and `opts` alone — this is where the thread-count
-/// independence of the whole sweep is decided. Cached stage products keep
-/// that property: they are deterministic in (benchmark, seed, options), so
-/// whether this task builds them or reuses a sibling defense's build is
-/// invisible in the metrics.
+/// Run one task and fill the rows of its *computed* split layers
+/// (compute[li] == 0 marks cells prefilled from the resume store — their
+/// rows are left untouched and their attacks skipped). Everything written
+/// to `rows` is a function of the task's grid coordinates and `opts`
+/// alone — this is where the thread-count independence of the whole sweep
+/// is decided, and why attacking only the missing subset of splits is
+/// bit-identical to a from-scratch run: each split's attack seeds from
+/// (grid seed, split layer), never from which siblings ran beside it.
+/// Cached stage products keep that property too: they are deterministic
+/// in (benchmark, seed, options), so whether this task builds them or
+/// reuses a sibling defense's build is invisible in the metrics.
 void run_task(const Task& t, const Grid& grid, const Options& opts,
               std::size_t router_jobs, const netlist::CellLibrary& lib,
-              core::LayoutCache& cache, Row* rows) {
+              core::LayoutCache& cache, Row* rows,
+              const std::vector<char>& compute, const CellCallback& on_cell) {
   const double t0 = now_ms();
   const auto spec = t.superblue
                         ? workloads::superblue_profile(t.benchmark, grid.scale)
                         : workloads::iscas85_profile(t.benchmark);
   const auto& nl = cache.netlist(
       t.cache_key, [&] { return workloads::generate(lib, spec, t.seed); });
-  const auto flow = flow_for(t, spec, router_jobs);
+  auto flow = task_flow(t.benchmark, t.superblue, t.seed, grid.scale);
+  // Scheduling only — applied outside task_flow so the config hash (which
+  // digests task_flow's output) can never cover it.
+  flow.router.jobs = router_jobs;
 
   const netlist::Netlist* feol = &nl;
   const core::LayoutResult* layout = nullptr;
@@ -100,7 +87,7 @@ void run_task(const Task& t, const Grid& grid, const Options& opts,
     feol = &base.physical(nl);
     layout = &base;
   } else {
-    design = core::protect(nl, randomize_for(t), flow);
+    design = core::protect(nl, task_randomize(t.seed), flow);
     feol = &design->erroneous;
     layout = &design->layout;
     ledger = &design->ledger;
@@ -108,6 +95,7 @@ void run_task(const Task& t, const Grid& grid, const Options& opts,
   }
 
   for (std::size_t li = 0; li < grid.split_layers.size(); ++li) {
+    if (!compute.empty() && !compute[li]) continue;
     const int split = grid.split_layers[li];
     const auto view =
         core::split_layout(*feol, layout->placement, layout->routing,
@@ -133,9 +121,15 @@ void run_task(const Task& t, const Grid& grid, const Options& opts,
     row.open_sinks = res.open_sinks;
     row.swaps = swaps;
   }
+  // Task-granularity wall stamp (one timer per task: the splits share its
+  // layout), then the completion callbacks — record append happens last so
+  // the log never holds a cell whose row is still being written.
   const double wall = now_ms() - t0;
-  for (std::size_t li = 0; li < grid.split_layers.size(); ++li)
+  for (std::size_t li = 0; li < grid.split_layers.size(); ++li) {
+    if (!compute.empty() && !compute[li]) continue;
     rows[li].wall_ms = wall;
+    if (on_cell) on_cell(li);
+  }
 }
 
 std::uint64_t parse_u64(const std::string& s, const char* what) {
@@ -153,16 +147,39 @@ std::uint64_t parse_u64(const std::string& s, const char* what) {
   }
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+}  // namespace
+
+core::FlowOptions task_flow(const std::string& benchmark, bool superblue,
+                            std::uint64_t seed, double scale) {
+  // Same flow tuning the benches and sm_flow use: M6 correction pins for
+  // ISCAS, M8 for superblue, utilization derated so the router stays
+  // congestion-free (bench/common.hpp is the reference). Scheduling knobs
+  // (router jobs/partition_depth) are NOT set here — the run loop applies
+  // them after hashing, see run_task.
+  core::FlowOptions f;
+  f.seed = seed;
+  f.router.passes = 3;
+  f.placer.seed = seed;
+  if (superblue) {
+    const auto spec = workloads::superblue_profile(benchmark, scale);
+    f.lift_layer = 8;
+    f.placer.target_utilization = spec.utilization * 0.5;
+    f.placer.detailed_passes = 1;
+  } else {
+    f.lift_layer = 6;
+    f.placer.target_utilization = 0.45;
+    f.placer.detailed_passes = 2;
   }
-  return out;
+  return f;
 }
 
-}  // namespace
+core::RandomizeOptions task_randomize(std::uint64_t seed) {
+  core::RandomizeOptions r;
+  r.seed = seed;
+  r.target_oer = 0.995;
+  r.check_patterns = 4096;
+  return r;
+}
 
 const char* to_string(Defense d) {
   return d == Defense::Unprotected ? "unprotected" : "proposed";
@@ -283,6 +300,10 @@ std::string Result::to_json() const {
   std::ostringstream os;
   os << "{\n  \"jobs\": " << jobs << ",\n  \"router_jobs\": " << router_jobs
      << ",\n  \"wall_ms\": " << wall_ms
+     << ",\n  \"computed_cells\": " << computed_cells
+     << ",\n  \"resumed_cells\": " << resumed_cells
+     << ",\n  \"shard_index\": " << shard_index
+     << ",\n  \"shard_count\": " << shard_count
      << ",\n  \"cache\": {\"netlists\": " << cache_stats.netlists
      << ", \"placements\": " << cache_stats.placements
      << ", \"base_routes\": " << cache_stats.base_routes
@@ -290,7 +311,7 @@ std::string Result::to_json() const {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     os << (i ? "," : "") << "\n    {\"benchmark\": \""
-       << json_escape(r.benchmark) << "\", \"seed\": " << r.seed
+       << util::json_escape(r.benchmark) << "\", \"seed\": " << r.seed
        << ", \"split_layer\": " << r.split_layer << ", \"defense\": \""
        << to_string(r.defense) << "\", \"ccr\": " << r.ccr
        << ", \"ccr_protected\": " << r.ccr_protected << ", \"oer\": " << r.oer
@@ -303,40 +324,78 @@ std::string Result::to_json() const {
 }
 
 Result run(const Grid& grid, const Options& opts) {
-  // Resolve benchmark names up front so a typo throws before hours of work.
-  const auto& sb = workloads::superblue_names();
-  const auto& iscas = workloads::iscas85_names();
-  std::vector<Task> tasks;
-  tasks.reserve(grid.benchmarks.size() * grid.seeds.size() *
-                grid.defenses.size());
-  for (const auto& bench : grid.benchmarks) {
-    const bool superblue = std::find(sb.begin(), sb.end(), bench) != sb.end();
-    if (!superblue &&
-        std::find(iscas.begin(), iscas.end(), bench) == iscas.end())
-      throw std::invalid_argument("sweep: unknown benchmark '" + bench + "'");
-    for (const auto seed : grid.seeds) {
-      // All defenses of one (bench, seed) share one cache entry. The key
-      // needn't carry scale/options: they are constant within a run and
-      // the cache lives exactly as long as the run.
-      const std::string key = bench + "/" + std::to_string(seed);
-      for (const auto defense : grid.defenses)
-        tasks.push_back({bench, seed, defense, superblue, key});
-    }
-  }
+  if (opts.shard_count < 1)
+    throw std::invalid_argument("sweep: shard count must be >= 1");
+  if (opts.shard_index >= opts.shard_count)
+    throw std::invalid_argument(
+        "sweep: shard index " + std::to_string(opts.shard_index) +
+        " out of range for " + std::to_string(opts.shard_count) + " shards");
+  if (opts.resume && opts.store_path.empty())
+    throw std::invalid_argument("sweep: resume requires a store path");
+
+  // Expand the grid into hashed cells (validates every benchmark name up
+  // front, so a typo throws before hours of work). Cells are task-major:
+  // task ti owns cells [ti*splits, (ti+1)*splits).
+  const auto cells = expand_cells(grid, opts);
+  const std::size_t splits = grid.split_layers.size();
+  const std::size_t total_tasks = splits ? cells.size() / splits : 0;
+
+  // Deterministic shard split: task ti belongs to shard ti % shard_count.
+  // Round-robin (not contiguous blocks) so every shard sees a mix of cheap
+  // and expensive benchmarks.
+  std::vector<std::size_t> kept;  // global task index per local task
+  kept.reserve(total_tasks / opts.shard_count + 1);
+  for (std::size_t ti = 0; ti < total_tasks; ++ti)
+    if (ti % opts.shard_count == opts.shard_index) kept.push_back(ti);
 
   Result result;
-  const std::size_t splits = grid.split_layers.size();
-  result.rows.resize(tasks.size() * splits);
-  result.jobs = util::resolve_jobs(opts.jobs, tasks.size());
-  // When the grid has fewer tasks than the requested worker budget, the
-  // leftover workers would idle — hand them to each task's router instead
-  // (the router is itself jobs-invariant, so this never changes metrics).
-  // A full grid keeps router_jobs = 1: task-level parallelism scales better
-  // than nested router threads.
+  result.shard_index = opts.shard_index;
+  result.shard_count = opts.shard_count;
+  result.rows.resize(kept.size() * splits);
+
+  // Resume prefill: rows whose config hash is already logged are copied
+  // from the store and their splits masked off; a task with no missing
+  // split never runs at all. The recomputed subset is bit-identical to a
+  // from-scratch run (test-enforced), because each split's attack depends
+  // only on (grid seed, split layer) — see run_task.
+  const StoreContents resumed =
+      opts.resume ? load_store({opts.store_path}, /*must_exist=*/false)
+                  : StoreContents{};
+  std::vector<std::vector<char>> compute(kept.size());
+  std::vector<std::size_t> runnable;  // local task indices with work left
+  runnable.reserve(kept.size());
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    compute[k].assign(splits, 1);
+    std::size_t missing = splits;
+    for (std::size_t li = 0; li < splits; ++li) {
+      const CellRef& cell = cells[kept[k] * splits + li];
+      const auto it = resumed.records.find(cell.config_hash);
+      if (it == resumed.records.end()) continue;
+      result.rows[k * splits + li] = it->second.row;
+      compute[k][li] = 0;
+      ++result.resumed_cells;
+      --missing;
+    }
+    result.computed_cells += missing;
+    if (missing) runnable.push_back(k);
+  }
+
+  result.jobs = util::resolve_jobs(opts.jobs, runnable.size());
+  // When the grid has fewer runnable tasks than the requested worker
+  // budget, the leftover workers would idle — hand them to each task's
+  // router instead (the router is itself jobs-invariant, so this never
+  // changes metrics). A full grid keeps router_jobs = 1: task-level
+  // parallelism scales better than nested router threads.
   const std::size_t budget = util::resolve_jobs(
       opts.jobs, std::numeric_limits<std::size_t>::max());
   result.router_jobs =
       std::max<std::size_t>(1, budget / std::max<std::size_t>(1, result.jobs));
+
+  // The event log. Appends are keyed by config hash, so re-running into an
+  // existing store is safe (duplicate keys materialize last-wins).
+  std::unique_ptr<StoreWriter> writer;
+  if (!opts.store_path.empty())
+    writer = std::make_unique<StoreWriter>(opts.store_path);
 
   // The libraries and the cache outlive every task (cached netlists keep a
   // pointer to their library); both are only read concurrently.
@@ -345,12 +404,38 @@ Result run(const Grid& grid, const Options& opts) {
   core::LayoutCache cache;
 
   const double t0 = now_ms();
-  // Row block for task i is [i*splits, (i+1)*splits): grid-major order, and
-  // no two tasks share a row — workers never contend on results.
-  util::parallel_for(opts.jobs, tasks.size(), [&](std::size_t i) {
-    run_task(tasks[i], grid, opts, result.router_jobs,
-             tasks[i].superblue ? lib_superblue : lib_iscas, cache,
-             result.rows.data() + i * splits);
+  // Local row block for task k is [k*splits, (k+1)*splits): grid-major
+  // order among this shard's tasks, and no two tasks share a row — workers
+  // never contend on results. The per-cell completion callback appends to
+  // the store (its own lock serializes writers) the moment a cell's row is
+  // final, which is what makes a mid-sweep crash resumable.
+  util::parallel_for(opts.jobs, runnable.size(), [&](std::size_t i) {
+    const std::size_t k = runnable[i];
+    const CellRef& first = cells[kept[k] * splits];
+    const Task task{first.benchmark, first.seed, first.defense,
+                    first.superblue,
+                    // All defenses of one (bench, seed) share one cache
+                    // entry. The key needn't carry scale/options: they are
+                    // constant within a run and the cache lives exactly as
+                    // long as the run.
+                    first.benchmark + "/" + std::to_string(first.seed)};
+    Row* rows = result.rows.data() + k * splits;
+    const CellCallback on_cell = [&, k](std::size_t li) {
+      if (!writer) return;
+      const CellRef& cell = cells[kept[k] * splits + li];
+      StoreRecord rec;
+      rec.config_hash = cell.config_hash;
+      rec.row = rows[li];
+      rec.patterns = opts.patterns;
+      rec.scale = grid.scale;
+      rec.config_json =
+          cell_config_json(grid, opts, cell.benchmark, cell.superblue,
+                           cell.seed, cell.defense, cell.split_layer);
+      writer->append(rec);
+    };
+    run_task(task, grid, opts, result.router_jobs,
+             task.superblue ? lib_superblue : lib_iscas, cache, rows,
+             compute[k], on_cell);
   });
   result.wall_ms = now_ms() - t0;
   result.cache_stats = cache.stats();

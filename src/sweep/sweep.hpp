@@ -30,6 +30,15 @@
 // exactly once per (benchmark, seed), which tests/test_sweep.cpp asserts.
 // (protect() still places each protected defense's *erroneous* netlist:
 // that placement is the defense mechanism itself and cannot be shared.)
+//
+// Persistence: the run loop is event-sourced around per-cell completion
+// callbacks — with Options::store_path set, every finished cell is
+// appended (fsync'd) to an append-only JSONL log keyed by a config hash
+// of the cell's full recipe, and sweeps can resume (skip logged cells) or
+// shard (--shard i/N task split whose logs merge into one store). The
+// determinism guarantee extends to both: resumed == from-scratch and
+// merged shards == unsharded, bit-identical modulo wall_ms and
+// test-enforced. sweep/store.hpp is the substrate.
 #pragma once
 
 #include "core/pipeline.hpp"
@@ -83,7 +92,33 @@ struct Grid {
 struct Options {
   std::size_t jobs = 1;           ///< worker threads; 0 = hardware concurrency
   std::size_t patterns = 100000;  ///< simulation patterns for OER/HD
+
+  /// Append-only result log (sweep/store.hpp). Empty = no store. When set,
+  /// every completed cell is appended (and fsync'd) the moment its task
+  /// finishes, so a crash loses only in-flight work.
+  std::string store_path;
+  /// Skip cells whose config hash already exists in `store_path` and
+  /// compute only the missing ones; skipped rows are filled from the log.
+  /// The resumed result is bit-identical to a from-scratch run (wall_ms
+  /// aside) — test-enforced. Requires store_path; a missing log file is a
+  /// fresh start, not an error.
+  bool resume = false;
+  /// Deterministic task split across processes: this invocation runs only
+  /// tasks with `task_index % shard_count == shard_index` and its rows
+  /// cover exactly those tasks' cells (still grid-major). Shard logs merge
+  /// into one store — union-materialize equals the unsharded sweep,
+  /// test-enforced. shard_count must be >= 1 and shard_index < shard_count.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
+
+/// The exact FlowOptions / RandomizeOptions every sweep cell of
+/// (benchmark, seed) uses — also the recipe the store's config hash covers
+/// (core::canonical_flow_json). Scheduling knobs (router jobs) are applied
+/// separately by the run loop and excluded from the hash.
+core::FlowOptions task_flow(const std::string& benchmark, bool superblue,
+                            std::uint64_t seed, double scale);
+core::RandomizeOptions task_randomize(std::uint64_t seed);
 
 /// One evaluated grid cell.
 struct Row {
@@ -98,12 +133,21 @@ struct Row {
   double hd = 0.0;
   std::size_t open_sinks = 0;
   std::size_t swaps = 0;    ///< defense swaps (0 for Unprotected)
-  double wall_ms = 0.0;     ///< task wall time, NOT part of the determinism
-                            ///< contract (splits of a task share one timer)
+  /// Task wall time, recorded at task granularity (all splits of one
+  /// (benchmark, seed, defense) task share one timer because they share
+  /// one layout). Provenance only: excluded from the store's config hash
+  /// and from every determinism contract (jobs-identity, resumed ==
+  /// from-scratch, merged shards == unsharded) — on resume it covers only
+  /// the splits actually recomputed, and rows filled from the store carry
+  /// the wall of the run that originally computed them.
+  double wall_ms = 0.0;
 };
 
 struct Result {
-  std::vector<Row> rows;  ///< grid-major: benchmark, seed, defense, split
+  /// Grid-major: benchmark, seed, defense, split. Under sharding, only the
+  /// cells of this shard's tasks (grid-major among them) — the full table
+  /// comes from materializing the merged shard logs.
+  std::vector<Row> rows;
   std::size_t jobs = 1;   ///< resolved worker count actually used
   /// Router threads inside each task: the leftover worker budget when the
   /// grid has fewer tasks than requested workers (budget / jobs), so
@@ -117,6 +161,12 @@ struct Result {
   /// reuses). The erroneous-netlist placements inside protect() are
   /// intentionally uncached and not counted here.
   core::LayoutCache::Stats cache_stats;
+  /// Cells actually computed this invocation vs filled from the resume
+  /// store; computed + resumed == rows.size().
+  std::size_t computed_cells = 0;
+  std::size_t resumed_cells = 0;
+  std::size_t shard_index = 0;  ///< echo of Options (0/1 when unsharded)
+  std::size_t shard_count = 1;
 
   /// Per-row table (one line per grid cell).
   util::Table table() const;
@@ -128,8 +178,12 @@ struct Result {
 };
 
 /// Run the sweep. Throws std::invalid_argument for unknown benchmark names
-/// (before any task runs); exceptions thrown by a task propagate after the
-/// whole batch finishes (lowest row index wins, see util::parallel_for).
+/// and invalid shard/resume combinations (before any task runs);
+/// exceptions thrown by a task propagate after the whole batch finishes
+/// (lowest row index wins, see util::parallel_for). With
+/// Options::store_path set, each completed cell is appended to the
+/// append-only log as its task finishes (sweep/store.hpp); with resume,
+/// cells already in the log are skipped and their rows filled from it.
 Result run(const Grid& grid, const Options& opts);
 
 }  // namespace sm::sweep

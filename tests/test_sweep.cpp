@@ -1,15 +1,53 @@
 // Tests for the parallel attack-sweep driver: grid spec parsing, empty-grid
-// edge cases, export formats, and the headline guarantee — CCR/OER/HD
-// bit-identical between --jobs=1 and --jobs=8 on the same grid.
+// edge cases, export formats, and the determinism guarantees — CCR/OER/HD
+// bit-identical between --jobs=1 and --jobs=8, between a resumed and a
+// from-scratch run, and between merged shard stores and the unsharded sweep.
 #include "sweep/sweep.hpp"
+
+#include "sweep/store.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace {
 
 using namespace sm;
+
+// Every Row field except wall_ms, bitwise — the resume/shard determinism
+// contract explicitly excludes wall time (task-granular provenance).
+void expect_rows_equal_modulo_wall(const std::vector<sweep::Row>& a,
+                                   const std::vector<sweep::Row>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].benchmark, b[i].benchmark) << "row " << i;
+    EXPECT_EQ(a[i].seed, b[i].seed) << "row " << i;
+    EXPECT_EQ(a[i].split_layer, b[i].split_layer) << "row " << i;
+    EXPECT_EQ(a[i].defense, b[i].defense) << "row " << i;
+    EXPECT_EQ(a[i].ccr, b[i].ccr) << "row " << i;
+    EXPECT_EQ(a[i].ccr_protected, b[i].ccr_protected) << "row " << i;
+    EXPECT_EQ(a[i].oer, b[i].oer) << "row " << i;
+    EXPECT_EQ(a[i].hd, b[i].hd) << "row " << i;
+    EXPECT_EQ(a[i].open_sinks, b[i].open_sinks) << "row " << i;
+    EXPECT_EQ(a[i].swaps, b[i].swaps) << "row " << i;
+  }
+}
+
+// Drop the trailing wall_ms column from every CSV line (it is the last
+// column — the same `cut -d, -f1-10` idiom CI uses for byte comparisons).
+std::string strip_wall_column(const std::string& csv) {
+  std::string out;
+  std::istringstream in(csv);
+  std::string line;
+  while (std::getline(in, line)) {
+    out += line.substr(0, line.rfind(','));
+    out += '\n';
+  }
+  return out;
+}
 
 TEST(SweepGrid, ParsesFullSpec) {
   const auto g = sweep::Grid::parse(
@@ -55,8 +93,23 @@ TEST(SweepGrid, SetSharesTheValidatedPathWithParse) {
   EXPECT_EQ(g.split_layers, (std::vector<int>{3, 5}));
   g.set("seeds", "11");
   EXPECT_EQ(g.seeds, (std::vector<std::uint64_t>{11}));
+  g.set("split-layers", "4");  // alias of "splits"
+  EXPECT_EQ(g.split_layers, (std::vector<int>{4}));
   EXPECT_THROW(g.set("splits", "4junk"), std::invalid_argument);
   EXPECT_THROW(g.set("wat", "1"), std::invalid_argument);
+}
+
+TEST(SweepGrid, SetRejectsBadValues) {
+  sweep::Grid g;
+  EXPECT_THROW(g.set("defenses", "fortress"), std::invalid_argument);
+  EXPECT_THROW(g.set("seeds", "1,two"), std::invalid_argument);
+  EXPECT_THROW(g.set("seeds", "0x10"), std::invalid_argument);
+  EXPECT_THROW(g.set("scale", "1e"), std::invalid_argument);
+  EXPECT_THROW(g.set("scale", ""), std::invalid_argument);
+  // An empty value empties the dimension (a zero-cell grid, not an error).
+  g.set("seeds", "");
+  EXPECT_TRUE(g.seeds.empty());
+  EXPECT_EQ(g.combinations(), 0u);
 }
 
 TEST(SweepDefense, RoundTripsNames) {
@@ -176,6 +229,120 @@ TEST(Sweep, ExportsContainEveryRow) {
   // Two splits of one (benchmark, seed, defense) task share one layout —
   // and therefore report the same task wall time.
   EXPECT_EQ(res.rows[0].wall_ms, res.rows[1].wall_ms);
+}
+
+TEST(Sweep, RejectsInvalidShardAndResumeOptions) {
+  sweep::Grid grid;
+  grid.benchmarks = {"c432"};
+  sweep::Options opts;
+  opts.shard_count = 0;
+  EXPECT_THROW(sweep::run(grid, opts), std::invalid_argument);
+  opts.shard_count = 2;
+  opts.shard_index = 2;
+  EXPECT_THROW(sweep::run(grid, opts), std::invalid_argument);
+  sweep::Options resume_only;
+  resume_only.resume = true;  // resume without a store to resume from
+  EXPECT_THROW(sweep::run(grid, resume_only), std::invalid_argument);
+}
+
+// Acceptance: a sweep interrupted after part of the grid (here: a sub-grid
+// run that logged only the M4 cells) resumes into a result bit-identical
+// to a from-scratch run — resumed rows come from the log, missing splits
+// of partially-logged tasks are recomputed, and only wall_ms may differ.
+TEST(Sweep, ResumedEqualsFromScratch) {
+  sweep::Grid grid;
+  grid.benchmarks = {"c432"};
+  grid.seeds = {1};
+  grid.split_layers = {4, 5};
+  sweep::Options opts;
+  opts.patterns = 800;
+  opts.jobs = 2;
+
+  const auto scratch = sweep::run(grid, opts);
+  ASSERT_EQ(scratch.rows.size(), 4u);
+  EXPECT_EQ(scratch.computed_cells, 4u);
+  EXPECT_EQ(scratch.resumed_cells, 0u);
+
+  const std::string store = testing::TempDir() + "sm_sweep_resume.jsonl";
+  std::remove(store.c_str());
+
+  // "Interrupted" run: same recipe, but only the M4 split completed.
+  sweep::Grid partial = grid;
+  partial.split_layers = {4};
+  sweep::Options popts = opts;
+  popts.store_path = store;
+  const auto first = sweep::run(partial, popts);
+  EXPECT_EQ(first.computed_cells, 2u);
+
+  // Resume the full grid: the two logged M4 cells are filled from the
+  // store, the two M5 cells are computed (their tasks re-run, but attack
+  // seeds depend only on the grid seed and split layer).
+  sweep::Options ropts = opts;
+  ropts.store_path = store;
+  ropts.resume = true;
+  const auto resumed = sweep::run(grid, ropts);
+  EXPECT_EQ(resumed.resumed_cells, 2u);
+  EXPECT_EQ(resumed.computed_cells, 2u);
+  expect_rows_equal_modulo_wall(scratch.rows, resumed.rows);
+  EXPECT_EQ(strip_wall_column(scratch.to_csv()),
+            strip_wall_column(resumed.to_csv()));
+
+  // Resuming again finds every cell logged: nothing left to compute.
+  const auto done = sweep::run(grid, ropts);
+  EXPECT_EQ(done.resumed_cells, 4u);
+  EXPECT_EQ(done.computed_cells, 0u);
+  expect_rows_equal_modulo_wall(scratch.rows, done.rows);
+  std::remove(store.c_str());
+}
+
+// Acceptance: --shard 0/2 and --shard 1/2 together cover the grid exactly
+// once, and the union of their stores materializes to the same table as
+// the unsharded sweep (CSV byte-identical once wall_ms is stripped).
+TEST(Sweep, ShardUnionMaterializesToUnsharded) {
+  sweep::Grid grid;
+  grid.benchmarks = {"c432"};
+  grid.seeds = {1, 2};
+  grid.split_layers = {4};
+  sweep::Options opts;
+  opts.patterns = 800;
+  opts.jobs = 2;
+
+  const auto whole = sweep::run(grid, opts);
+  ASSERT_EQ(whole.rows.size(), 4u);
+
+  const std::string s0 = testing::TempDir() + "sm_sweep_shard0.jsonl";
+  const std::string s1 = testing::TempDir() + "sm_sweep_shard1.jsonl";
+  std::remove(s0.c_str());
+  std::remove(s1.c_str());
+
+  std::vector<sweep::Row> shard_rows;
+  for (std::size_t i = 0; i < 2; ++i) {
+    sweep::Options sopts = opts;
+    sopts.shard_index = i;
+    sopts.shard_count = 2;
+    sopts.store_path = i == 0 ? s0 : s1;
+    const auto part = sweep::run(grid, sopts);
+    EXPECT_EQ(part.shard_index, i);
+    EXPECT_EQ(part.shard_count, 2u);
+    EXPECT_EQ(part.rows.size(), 2u);  // 4 tasks round-robined across 2
+    EXPECT_EQ(part.computed_cells, 2u);
+    shard_rows.insert(shard_rows.end(), part.rows.begin(), part.rows.end());
+  }
+  // The shards partition the tasks: together they saw each cell once.
+  EXPECT_EQ(shard_rows.size(), whole.rows.size());
+
+  // Merge the two logs (order must not matter — records are keyed) and
+  // materialize the full grid from them.
+  const auto store = sweep::load_store({s1, s0}, /*must_exist=*/true);
+  EXPECT_EQ(store.records.size(), 4u);
+  EXPECT_EQ(store.duplicates, 0u);
+  const auto mat = sweep::materialize(grid, opts, store);
+  EXPECT_TRUE(mat.missing.empty());
+  expect_rows_equal_modulo_wall(whole.rows, mat.result.rows);
+  EXPECT_EQ(strip_wall_column(whole.to_csv()),
+            strip_wall_column(mat.result.to_csv()));
+  std::remove(s0.c_str());
+  std::remove(s1.c_str());
 }
 
 }  // namespace
