@@ -5,48 +5,50 @@
 // the attacker's CCR stays pinned near zero at every split below it —
 // which is precisely the paper's "split after higher layers at no security
 // loss" argument.
-#include "attack/proximity.hpp"
+//
+// The rig is a thin front-end over the sweep grid driver: the ablation is
+// the cross product (one benchmark) × splits {2,3,4,5} × defenses ×
+// attackers, so it inherits the sweep's determinism contracts (bit-identical
+// for any --jobs), its shared-stage LayoutCache, and — with --store — the
+// event-sourced result log (re-runs with --resume recompute nothing).
+//
+// Extra flags on top of bench/common.hpp:
+//   --defenses=a,b     defense axis (default unprotected,proposed)
+//   --attackers=a,b    attacker axis (default proximity,crouting)
+//   --splits=a,b       split-layer axis (default 2,3,4,5)
+//   --store=<path>     append results to an event-sourced JSONL log
+//   --resume           skip cells already present in --store
 #include "common.hpp"
+#include "sweep/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace sm;
   const auto suite = bench::parse_suite(argc, argv);
+  util::Args args(argc, argv);
   bench::print_header("Ablation: split layer vs attack outcome");
 
-  const std::string name = suite.only.empty() ? "c1908" : suite.only.front();
-  netlist::CellLibrary lib{6};
-  const auto nl =
-      workloads::generate(lib, workloads::iscas85_profile(name), suite.seed);
-  const auto flow = bench::iscas_flow(suite.seed);
-  const auto original = core::layout_original(nl, flow);
-  const auto design =
-      core::protect(nl, bench::default_randomize(suite.seed), flow);
+  sweep::Grid grid;
+  grid.benchmarks = {suite.only.empty() ? "c1908" : suite.only.front()};
+  grid.seeds = {suite.seed};
+  grid.split_layers = {2, 3, 4, 5};
+  grid.defenses = {sweep::Defense::Unprotected, sweep::Defense::Proposed};
+  grid.attackers = {sweep::Attacker::Proximity, sweep::Attacker::CRouting};
+  grid.scale = suite.scale;
+  if (args.has("splits")) grid.set("splits", args.get("splits", ""));
+  if (args.has("defenses")) grid.set("defenses", args.get("defenses", ""));
+  if (args.has("attackers")) grid.set("attackers", args.get("attackers", ""));
 
-  util::Table table({"Split", "Orig open sinks", "Orig CCR", "Orig HD",
-                     "Prop open sinks", "Prop CCR(prot)", "Prop OER",
-                     "Prop HD"});
-  for (const int split : {2, 3, 4, 5}) {
-    attack::ProximityOptions a;
-    a.eval_patterns = suite.patterns / 2;
-    const auto v0 =
-        core::split_layout(nl, original.placement, original.routing,
-                           original.tasks, original.num_net_tasks, split);
-    const auto r0 =
-        attack::proximity_attack(nl, nl, original.placement, v0, nullptr, a);
-    const auto vp = core::split_layout(
-        design.erroneous, design.layout.placement, design.layout.routing,
-        design.layout.tasks, design.layout.num_net_tasks, split);
-    const auto rp =
-        attack::proximity_attack(design.erroneous, nl, design.layout.placement,
-                                 vp, &design.ledger, a);
-    table.add_row({"M" + std::to_string(split), std::to_string(r0.open_sinks),
-                   util::Table::pct(100 * r0.ccr(), 1),
-                   util::Table::pct(100 * r0.rates.hd, 1),
-                   std::to_string(rp.open_sinks),
-                   util::Table::pct(100 * rp.ccr_protected(), 1),
-                   util::Table::pct(100 * rp.rates.oer, 1),
-                   util::Table::pct(100 * rp.rates.hd, 1)});
-  }
-  std::fputs(table.render().c_str(), stdout);
+  sweep::Options opts;
+  opts.jobs = suite.jobs;
+  opts.patterns = suite.patterns / 2;
+  opts.store_path = args.get("store", "");
+  opts.resume = args.get_bool("resume", false);
+
+  const auto result = sweep::run(grid, opts);
+  std::fputs(result.table().render().c_str(), stdout);
+  std::printf(
+      "\n%zu cells (%zu computed, %zu from store), jobs=%zu, %.0f ms\n",
+      result.rows.size(), result.computed_cells, result.resumed_cells,
+      result.jobs, result.wall_ms);
   return 0;
 }

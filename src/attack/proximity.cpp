@@ -522,6 +522,7 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
     result.rates.hd = 0.5;
     result.rates.patterns = 0;
   }
+  if (opts.keep_recovered) result.recovered.emplace(std::move(recovered));
   return result;
 }
 

@@ -77,6 +77,11 @@ struct ProximityOptions {
   /// candidate sets — the index only skips provably-too-far drivers.
   int index_min_drivers = 64;
   double index_target_per_cell = 4.0;  ///< bucket occupancy of the index
+  /// Keep the recovered netlist in ProximityResult::recovered. Off by
+  /// default (a full netlist clone per attack is pure overhead for metric
+  /// sweeps); the SAT-equivalence attacker turns it on to feed
+  /// core::check_equivalence.
+  bool keep_recovered = false;
 };
 
 struct ProximityResult {
@@ -86,6 +91,9 @@ struct ProximityResult {
   std::size_t protected_total = 0; ///< swapped (randomized) sink pins seen
   std::size_t protected_correct = 0;
   sim::ErrorRates rates;           ///< recovered vs original
+  /// The attacker's completed netlist, populated only when
+  /// ProximityOptions::keep_recovered is set.
+  std::optional<netlist::Netlist> recovered;
 
   double ccr() const {
     return open_sinks == 0 ? 1.0

@@ -18,9 +18,16 @@ FlowSetup parse_setup(const util::Args& args) {
   s.target_oer = args.get_double("target-oer", s.target_oer);
 
   const auto& sb = workloads::superblue_names();
-  s.superblue = std::find(sb.begin(), sb.end(), s.bench) != sb.end();
-  s.spec = s.superblue ? workloads::superblue_profile(s.bench, s.scale)
-                       : workloads::iscas85_profile(s.bench);
+  const auto& synth = workloads::synthetic_names();
+  const bool is_sb = std::find(sb.begin(), sb.end(), s.bench) != sb.end();
+  const bool is_synth =
+      std::find(synth.begin(), synth.end(), s.bench) != synth.end();
+  // Synthetic ladder benches take the superblue tuning: both are large flat
+  // designs routed with M8 pins and a derated utilization.
+  s.superblue = is_sb || is_synth;
+  s.spec = is_sb      ? workloads::superblue_profile(s.bench, s.scale)
+           : is_synth ? workloads::synthetic_profile(s.bench, s.scale)
+                      : workloads::iscas85_profile(s.bench);
 
   // Same flow tuning the benches use (bench/common.hpp): M6 pins for ISCAS,
   // M8 for superblue, utilization derated for a congestion-free router.

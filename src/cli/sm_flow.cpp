@@ -61,12 +61,19 @@ int usage(std::FILE* to) {
       "  report    protected vs unprotected security + PPA table\n"
       "            [--jobs=N] [--index-threshold=N]\n"
       "  sweep     parallel attack sweep over {benchmarks x seeds x split\n"
-      "            layers x defenses}; metrics are bit-identical for any\n"
-      "            --jobs value\n"
+      "            layers x defenses x attackers}; metrics are bit-identical\n"
+      "            for any --jobs value\n"
       "            [--jobs=N] [--grid=SPEC] [--benchmarks=a,b] [--seeds=1,2]\n"
-      "            [--splits=3,4,5] [--defenses=unprotected,proposed]\n"
+      "            [--splits=3,4,5] [--defenses=unprotected,proposed,\n"
+      "              place-perturb,g-color,g-type1,g-type2,pin-swap,\n"
+      "              route-perturb,route-blockage]\n"
+      "            [--attackers=proximity,crouting,sat] attacker axis:\n"
+      "            network-flow proximity, crouting (concerted-routing\n"
+      "            candidate lists), sat (proximity + SAT/sim equivalence\n"
+      "            check of the recovered netlist)\n"
       "            [--quick] [--csv=F] [--json=F] [--summary-only]\n"
-      "            (--bench/--seed/--split-layer alias the grid dimensions)\n"
+      "            (--bench/--seed/--split-layer/--attacker alias the grid\n"
+      "            dimensions)\n"
       "            [--store=F] append every completed cell to an append-only\n"
       "            JSONL result log keyed by config hash (fsync per cell)\n"
       "            [--resume] skip cells already in the store, compute only\n"
@@ -297,7 +304,8 @@ sweep::Grid grid_from_args(const util::Args& args, bool quick) {
       {"benchmarks", "benchmarks"}, {"bench", "benchmarks"},
       {"seeds", "seeds"},           {"seed", "seeds"},
       {"splits", "splits"},         {"split-layer", "splits"},
-      {"defenses", "defenses"},
+      {"defenses", "defenses"},     {"attackers", "attackers"},
+      {"attacker", "attackers"},
   };
   for (const auto& [flag, key] : kGridFlags)
     if (args.has(flag)) grid.set(key, args.get(flag, ""));
@@ -377,10 +385,10 @@ int cmd_sweep(const util::Args& args) {
     // to, its config hash (the store key), and which shard would run it.
     const auto cells = sweep::expand_cells(grid, opts);
     std::printf("sweep dry run: %zu cells (%zu benchmarks x %zu seeds x "
-                "%zu splits x %zu defenses), %zu shards\n",
+                "%zu splits x %zu defenses x %zu attackers), %zu shards\n",
                 cells.size(), grid.benchmarks.size(), grid.seeds.size(),
                 grid.split_layers.size(), grid.defenses.size(),
-                opts.shard_count);
+                grid.attackers.size(), opts.shard_count);
     for (const auto& cell : cells) {
       const std::size_t shard = cell.task_index % opts.shard_count;
       const bool mine = shard == opts.shard_index;
@@ -392,9 +400,10 @@ int cmd_sweep(const util::Args& args) {
   }
 
   std::printf("sweep: %zu cells (%zu benchmarks x %zu seeds x %zu splits x "
-              "%zu defenses), --jobs=%zu",
+              "%zu defenses x %zu attackers), --jobs=%zu",
               grid.combinations(), grid.benchmarks.size(), grid.seeds.size(),
-              grid.split_layers.size(), grid.defenses.size(), opts.jobs);
+              grid.split_layers.size(), grid.defenses.size(),
+              grid.attackers.size(), opts.jobs);
   if (opts.shard_count > 1)
     std::printf(", shard %zu/%zu", opts.shard_index, opts.shard_count);
   if (!opts.store_path.empty())
@@ -457,6 +466,9 @@ int cmd_list() {
   for (const auto& n : workloads::iscas85_names()) std::printf(" %s", n.c_str());
   std::printf("\nsuperblue profiles (use with --scale):\n ");
   for (const auto& n : workloads::superblue_names())
+    std::printf(" %s", n.c_str());
+  std::printf("\nsynthetic scaling ladder (use with --scale):\n ");
+  for (const auto& n : workloads::synthetic_names())
     std::printf(" %s", n.c_str());
   std::printf("\n");
   return 0;

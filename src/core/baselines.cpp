@@ -43,23 +43,38 @@ LayoutResult layout_placement_perturbed(const Netlist& nl,
                                         PerturbStrategy strategy,
                                         double fraction, std::uint64_t seed,
                                         double radius_frac) {
-  LayoutResult out;
+  // Self-placing entry point: place directly (no buffering stage), exactly
+  // as before the PlacedDesign overload existed.
   place::Placer placer(opts.placer);
-  out.placement = placer.place(nl);
+  PlacedDesign placed;
+  placed.placement = placer.place(nl);
+  return layout_placement_perturbed(nl, opts, placed, strategy, fraction, seed,
+                                    radius_frac);
+}
+
+LayoutResult layout_placement_perturbed(const Netlist& nl,
+                                        const FlowOptions& opts,
+                                        const PlacedDesign& placed,
+                                        PerturbStrategy strategy,
+                                        double fraction, std::uint64_t seed,
+                                        double radius_frac) {
+  const Netlist& phys = placed.physical(nl);
+  LayoutResult out;
+  out.placement = placed.placement;
   util::Rng rng(seed ^ 0x9137ULL);
   const double radius =
       radius_frac * out.placement.floorplan.die.width();
 
   // Candidate classes: gates are only swapped with gates of the same class.
   auto class_of = [&](CellId id) -> std::uint64_t {
-    const auto& t = nl.type_of(id);
+    const auto& t = phys.type_of(id);
     switch (strategy) {
       case PerturbStrategy::Random:
         return 0;
       case PerturbStrategy::GColor:  // gates of equal fan-in
         return static_cast<std::uint64_t>(t.num_inputs);
       case PerturbStrategy::GType1:  // identical cell type
-        return nl.cell(id).type;
+        return phys.cell(id).type;
       case PerturbStrategy::GType2:  // same logic function, any drive
         return static_cast<std::uint64_t>(t.fn) + 1000;
     }
@@ -67,8 +82,8 @@ LayoutResult layout_placement_perturbed(const Netlist& nl,
   };
 
   std::map<std::uint64_t, std::vector<CellId>> classes;
-  for (CellId id = 0; id < nl.num_cells(); ++id) {
-    if (nl.type_of(id).cls != netlist::CellClass::Standard) continue;
+  for (CellId id = 0; id < phys.num_cells(); ++id) {
+    if (phys.type_of(id).cls != netlist::CellClass::Standard) continue;
     classes[class_of(id)].push_back(id);
   }
   for (auto& [cls, members] : classes) {
@@ -91,7 +106,7 @@ LayoutResult layout_placement_perturbed(const Netlist& nl,
       }
     }
   }
-  route_layout(nl, out, opts);
+  route_layout(phys, out, opts);
   return out;
 }
 
@@ -117,15 +132,26 @@ SwappedLayout layout_pin_swapped(const Netlist& nl, const FlowOptions& opts,
 LayoutResult layout_routing_perturbed(const Netlist& nl,
                                       const FlowOptions& opts, double fraction,
                                       int elevate_to, std::uint64_t seed) {
-  LayoutResult out;
   place::Placer placer(opts.placer);
-  out.placement = placer.place(nl);
+  PlacedDesign placed;
+  placed.placement = placer.place(nl);
+  return layout_routing_perturbed(nl, opts, placed, fraction, elevate_to, seed);
+}
+
+LayoutResult layout_routing_perturbed(const Netlist& nl,
+                                      const FlowOptions& opts,
+                                      const PlacedDesign& placed,
+                                      double fraction, int elevate_to,
+                                      std::uint64_t seed) {
+  const Netlist& phys = placed.physical(nl);
+  LayoutResult out;
+  out.placement = placed.placement;
   util::Rng rng(seed ^ 0x7712ULL);
-  std::vector<int> min_layer(nl.num_nets(), 1);
-  for (NetId n = 0; n < nl.num_nets(); ++n)
-    if (!nl.net(n).sinks.empty() && rng.chance(fraction))
+  std::vector<int> min_layer(phys.num_nets(), 1);
+  for (NetId n = 0; n < phys.num_nets(); ++n)
+    if (!phys.net(n).sinks.empty() && rng.chance(fraction))
       min_layer[n] = elevate_to;
-  route_layout(nl, out, opts, min_layer);
+  route_layout(phys, out, opts, min_layer);
   return out;
 }
 
@@ -133,9 +159,21 @@ LayoutResult layout_routing_blockage(const Netlist& nl,
                                      const FlowOptions& opts,
                                      int num_blockages, double size_um,
                                      int max_layer, std::uint64_t seed) {
-  LayoutResult out;
   place::Placer placer(opts.placer);
-  out.placement = placer.place(nl);
+  PlacedDesign placed;
+  placed.placement = placer.place(nl);
+  return layout_routing_blockage(nl, opts, placed, num_blockages, size_um,
+                                 max_layer, seed);
+}
+
+LayoutResult layout_routing_blockage(const Netlist& nl,
+                                     const FlowOptions& opts,
+                                     const PlacedDesign& placed,
+                                     int num_blockages, double size_um,
+                                     int max_layer, std::uint64_t seed) {
+  const Netlist& phys = placed.physical(nl);
+  LayoutResult out;
+  out.placement = placed.placement;
   util::Rng rng(seed ^ 0xb10cULL);
 
   FlowOptions blocked = opts;
@@ -146,7 +184,7 @@ LayoutResult layout_routing_blockage(const Netlist& nl,
     blocked.router.blockages.push_back(
         {util::Rect{{x, y}, {x + size_um, y + size_um}}, 1, max_layer});
   }
-  route_layout(nl, out, blocked, {});
+  route_layout(phys, out, blocked, {});
   return out;
 }
 

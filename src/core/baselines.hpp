@@ -18,7 +18,7 @@
 //    wires upward implicitly.
 #pragma once
 
-#include "core/protect.hpp"
+#include "core/pipeline.hpp"
 
 #include <cstdint>
 
@@ -31,8 +31,21 @@ enum class PerturbStrategy { Random, GColor, GType1, GType2 };
 /// bounded to `radius_frac` of the die width — the published schemes bound
 /// displacement to keep the layout routable, which is also why they only
 /// dent the proximity signal instead of destroying it.
+///
+/// Each placement-consuming baseline has two entry points: the original
+/// self-placing signature, and an overload taking a shared stage-1
+/// `PlacedDesign` (what `sweep` feeds from `LayoutCache::placed` so one
+/// placement serves every baseline defense of a (bench, seed) pair). The
+/// self-placing form places directly — bit-identical to its pre-overload
+/// behavior — and the overload perturbs a *copy* of the given placement.
 LayoutResult layout_placement_perturbed(const netlist::Netlist& nl,
                                         const FlowOptions& opts,
+                                        PerturbStrategy strategy,
+                                        double fraction, std::uint64_t seed,
+                                        double radius_frac = 0.2);
+LayoutResult layout_placement_perturbed(const netlist::Netlist& nl,
+                                        const FlowOptions& opts,
+                                        const PlacedDesign& placed,
                                         PerturbStrategy strategy,
                                         double fraction, std::uint64_t seed,
                                         double radius_frac = 0.2);
@@ -52,11 +65,21 @@ SwappedLayout layout_pin_swapped(const netlist::Netlist& nl,
 LayoutResult layout_routing_perturbed(const netlist::Netlist& nl,
                                       const FlowOptions& opts, double fraction,
                                       int elevate_to, std::uint64_t seed);
+LayoutResult layout_routing_perturbed(const netlist::Netlist& nl,
+                                      const FlowOptions& opts,
+                                      const PlacedDesign& placed,
+                                      double fraction, int elevate_to,
+                                      std::uint64_t seed);
 
 /// [7]: scatter `num_blockages` square lateral blockages of `size_um` on
 /// layers up to `max_layer`, then route normally.
 LayoutResult layout_routing_blockage(const netlist::Netlist& nl,
                                      const FlowOptions& opts,
+                                     int num_blockages, double size_um,
+                                     int max_layer, std::uint64_t seed);
+LayoutResult layout_routing_blockage(const netlist::Netlist& nl,
+                                     const FlowOptions& opts,
+                                     const PlacedDesign& placed,
                                      int num_blockages, double size_um,
                                      int max_layer, std::uint64_t seed);
 

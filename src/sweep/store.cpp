@@ -20,25 +20,65 @@ namespace sm::sweep {
 
 std::string describe(const CellRef& cell) {
   std::ostringstream os;
-  os << cell.benchmark << " seed=" << cell.seed << " M" << cell.split_layer
-     << ' ' << to_string(cell.defense) << " [" << cell.config_hash << ']';
+  os << cell.benchmark << " (" << to_string(cell.workload) << ") seed="
+     << cell.seed << " M" << cell.split_layer << ' ' << to_string(cell.defense)
+     << " attacker=" << to_string(cell.attacker) << " [" << cell.config_hash
+     << ']';
   return os.str();
 }
 
 std::string cell_config_json(const Grid& grid, const Options& opts,
-                             const std::string& benchmark, bool superblue,
+                             const std::string& benchmark, Workload workload,
                              std::uint64_t seed, Defense defense,
-                             int split_layer) {
+                             int split_layer, Attacker attacker) {
   // Lexicographic keys — the canonical-JSON convention. The "format" tag
   // versions the recipe schema itself: field additions/removals bump it so
-  // an old log can never silently satisfy a new recipe.
+  // an old log can never silently satisfy a new recipe. Axis extensions
+  // stay *conditional* ("attacker" only when non-proximity, "baseline" only
+  // for baseline defenses) so the hash of every recipe expressible before
+  // the axis existed is unchanged — the cross-release resume contract
+  // pinned by tests/test_store.cpp.
+  const core::FlowOptions flow = task_flow(benchmark, workload, seed,
+                                           grid.scale);
   util::JsonWriter w;
   w.begin_object();
+  if (attacker != Attacker::Proximity)
+    w.key("attacker").value(to_string(attacker));
+  if (is_baseline(defense)) {
+    // The baseline's non-flow recipe constants. Anything here that changed
+    // would change the produced layout, so it belongs in the hash.
+    const BaselineRecipe r = baseline_recipe(defense);
+    w.key("baseline").begin_object();
+    switch (defense) {
+      case Defense::PlacePerturb:
+      case Defense::GColor:
+      case Defense::GType1:
+      case Defense::GType2:
+        w.key("fraction").value(r.fraction);
+        w.key("radius_frac").value(r.radius_frac);
+        break;
+      case Defense::PinSwap:
+        w.key("min_swaps").value(r.min_swaps);
+        w.key("swap_divisor").value(r.swap_divisor);
+        break;
+      case Defense::RoutePerturb:
+        w.key("elevate_to").value(flow.lift_layer);
+        w.key("fraction").value(r.fraction);
+        break;
+      case Defense::RouteBlockage:
+        w.key("blockages").value(r.blockages);
+        w.key("max_layer").value(r.blockage_max_layer);
+        w.key("width_divisor").value(r.width_divisor);
+        break;
+      case Defense::Unprotected:
+      case Defense::Proposed:
+        break;  // not baselines; unreachable under is_baseline()
+    }
+    w.end_object();
+  }
   w.key("benchmark").value(benchmark);
   w.key("defense").value(to_string(defense));
-  w.key("flow").raw(
-      core::canonical_flow_json(task_flow(benchmark, superblue, seed,
-                                          grid.scale)));
+  w.key("flow").raw(core::canonical_flow_json(flow));
   w.key("format").value("sm-sweep-cell-v1");
   w.key("patterns").value(opts.patterns);
   if (defense == Defense::Proposed) {
@@ -64,12 +104,17 @@ std::vector<CellRef> expand_cells(const Grid& grid, const Options& opts) {
   // even when the split list is empty and no cells would exist.
   const auto& sb = workloads::superblue_names();
   const auto& iscas = workloads::iscas85_names();
-  std::vector<bool> is_superblue(grid.benchmarks.size());
+  const auto& synth = workloads::synthetic_names();
+  std::vector<Workload> workload(grid.benchmarks.size());
   for (std::size_t bi = 0; bi < grid.benchmarks.size(); ++bi) {
     const auto& bench = grid.benchmarks[bi];
-    is_superblue[bi] = std::find(sb.begin(), sb.end(), bench) != sb.end();
-    if (!is_superblue[bi] &&
-        std::find(iscas.begin(), iscas.end(), bench) == iscas.end())
+    if (std::find(sb.begin(), sb.end(), bench) != sb.end())
+      workload[bi] = Workload::Superblue;
+    else if (std::find(synth.begin(), synth.end(), bench) != synth.end())
+      workload[bi] = Workload::Synthetic;
+    else if (std::find(iscas.begin(), iscas.end(), bench) != iscas.end())
+      workload[bi] = Workload::Iscas85;
+    else
       throw std::invalid_argument("sweep: unknown benchmark '" + bench + "'");
   }
 
@@ -80,18 +125,22 @@ std::vector<CellRef> expand_cells(const Grid& grid, const Options& opts) {
     for (const auto seed : grid.seeds) {
       for (const auto defense : grid.defenses) {
         for (std::size_t li = 0; li < grid.split_layers.size(); ++li) {
-          CellRef c;
-          c.task_index = task_index;
-          c.split_index = li;
-          c.benchmark = grid.benchmarks[bi];
-          c.seed = seed;
-          c.defense = defense;
-          c.split_layer = grid.split_layers[li];
-          c.superblue = is_superblue[bi];
-          c.config_hash = util::config_hash(
-              cell_config_json(grid, opts, c.benchmark, c.superblue, seed,
-                               defense, c.split_layer));
-          cells.push_back(std::move(c));
+          for (std::size_t ai = 0; ai < grid.attackers.size(); ++ai) {
+            CellRef c;
+            c.task_index = task_index;
+            c.split_index = li;
+            c.attacker_index = ai;
+            c.benchmark = grid.benchmarks[bi];
+            c.seed = seed;
+            c.defense = defense;
+            c.split_layer = grid.split_layers[li];
+            c.attacker = grid.attackers[ai];
+            c.workload = workload[bi];
+            c.config_hash = util::config_hash(
+                cell_config_json(grid, opts, c.benchmark, c.workload, seed,
+                                 defense, c.split_layer, c.attacker));
+            cells.push_back(std::move(c));
+          }
         }
         ++task_index;
       }
@@ -103,12 +152,15 @@ std::vector<CellRef> expand_cells(const Grid& grid, const Options& opts) {
 std::string to_store_line(const StoreRecord& rec) {
   util::JsonWriter w;
   w.begin_object();
+  w.key("attacker").value(to_string(rec.row.attacker));
   w.key("benchmark").value(rec.row.benchmark);
   w.key("ccr").value(rec.row.ccr);
   w.key("ccr_protected").value(rec.row.ccr_protected);
   if (!rec.config_json.empty()) w.key("config").raw(rec.config_json);
   w.key("config_hash").value(rec.config_hash);
   w.key("defense").value(to_string(rec.row.defense));
+  w.key("els").value(rec.row.els);
+  w.key("equiv").value(rec.row.equiv);
   w.key("hd").value(rec.row.hd);
   w.key("oer").value(rec.row.oer);
   w.key("open_sinks").value(rec.row.open_sinks);
@@ -132,6 +184,14 @@ StoreRecord parse_store_line(const std::string& line) {
   rec.row.seed = v.at("seed").as_u64();
   rec.row.split_layer = static_cast<int>(v.at("split_layer").as_int());
   rec.row.defense = defense_from_string(v.at("defense").as_string());
+  // Attacker-axis fields are absent from pre-axis logs (whose records are
+  // all proximity cells by construction) — default rather than reject, so
+  // old stores keep resolving under --resume.
+  if (const auto* a = v.find("attacker"))
+    rec.row.attacker = attacker_from_string(a->as_string());
+  if (const auto* e = v.find("els")) rec.row.els = e->as_double();
+  if (const auto* q = v.find("equiv"))
+    rec.row.equiv = static_cast<int>(q->as_int());
   rec.row.ccr = v.at("ccr").as_double();
   rec.row.ccr_protected = v.at("ccr_protected").as_double();
   rec.row.oer = v.at("oer").as_double();
@@ -224,6 +284,12 @@ Materialized materialize(const Grid& grid, const Options& opts,
     out.result.rows.push_back(it->second.row);
     ++out.result.resumed_cells;
   }
+  // Missing cells sort by config hash, not discovery order: shard filters
+  // visit cells in different orders, and CI byte-diffs the stderr listing.
+  std::sort(out.missing.begin(), out.missing.end(),
+            [](const CellRef& a, const CellRef& b) {
+              return a.config_hash < b.config_hash;
+            });
   return out;
 }
 

@@ -13,9 +13,10 @@
 //                              record/cell)                     summary)
 //
 // Records are keyed by a config hash — util::config_hash over the cell's
-// canonical recipe JSON: (benchmark, seed, split_layer, defense, patterns,
-// scale, flow options via core::canonical_flow_json, randomize options for
-// protected cells). Anything that can change a metric is in the hash;
+// canonical recipe JSON: (benchmark, seed, split_layer, defense, attacker,
+// patterns, scale, flow options via core::canonical_flow_json, randomize
+// options for protected cells, baseline recipe constants for baseline
+// defenses). Anything that can change a metric is in the hash;
 // scheduling knobs (jobs, partition_depth, shard assignment) and wall
 // time are NOT — two runs differing only in those resolve to the same
 // cell. tests/test_store.cpp pins golden hashes across releases.
@@ -53,31 +54,40 @@ namespace sm::sweep {
 /// Identity of one grid cell within a sweep configuration.
 struct CellRef {
   std::size_t task_index = 0;  ///< (benchmark, seed, defense) triple, grid-major
-  std::size_t split_index = 0; ///< position in Grid::split_layers
+  std::size_t split_index = 0;    ///< position in Grid::split_layers
+  std::size_t attacker_index = 0; ///< position in Grid::attackers
   std::string benchmark;
   std::uint64_t seed = 0;
   Defense defense = Defense::Unprotected;
   int split_layer = 0;
-  bool superblue = false;
+  Attacker attacker = Attacker::Proximity;
+  Workload workload = Workload::Iscas85;
   std::string config_hash;  ///< util::config_hash(cell_config_json(...))
 };
 
-/// "c432 seed=1 M4 unprotected [<hash>]" — dry-run and missing-cell output.
+/// "c432 (iscas85) seed=1 M4 unprotected attacker=proximity [<hash>]" — the
+/// full canonical recipe coordinates, so dry-run and missing-cell listings
+/// are auditable by eye across every axis.
 std::string describe(const CellRef& cell);
 
 /// The canonical recipe JSON a cell's config hash digests. Pure function
 /// of its arguments; `sm_flow sweep --dry-run` prints the derived hashes
-/// and tests/test_store.cpp pins golden values.
+/// and tests/test_store.cpp + tests/test_store_axes.cpp pin golden values.
+/// Axis extensions append *conditional* keys only (an "attacker" key for
+/// non-proximity attackers, a "baseline" parameter block for baseline
+/// defenses), so every pre-extension proximity-only record keeps its hash
+/// and old stores keep resolving under --resume.
 std::string cell_config_json(const Grid& grid, const Options& opts,
-                             const std::string& benchmark, bool superblue,
+                             const std::string& benchmark, Workload workload,
                              std::uint64_t seed, Defense defense,
-                             int split_layer);
+                             int split_layer, Attacker attacker);
 
 /// Expand the grid into grid-major cells (benchmark, seed, defense major;
-/// split innermost — exactly the row order of Result::rows) with config
-/// hashes. Validates every benchmark name up front (std::invalid_argument)
-/// even when the split list is empty. Shard options do NOT filter here —
-/// callers own that (`task_index % shard_count == shard_index`).
+/// then split, attacker innermost — exactly the row order of Result::rows)
+/// with config hashes. Validates every benchmark name up front
+/// (std::invalid_argument) even when the split list is empty. Shard
+/// options do NOT filter here — callers own that
+/// (`task_index % shard_count == shard_index`).
 std::vector<CellRef> expand_cells(const Grid& grid, const Options& opts);
 
 /// One event in the log: a completed cell and its full recipe. `row`

@@ -1,10 +1,13 @@
 #include "sweep/sweep.hpp"
 
+#include "attack/crouting.hpp"
 #include "attack/proximity.hpp"
 #include "core/baselines.hpp"
+#include "core/equivalence.hpp"
 #include "core/pipeline.hpp"
 #include "core/protect.hpp"
 #include "core/split.hpp"
+#include "netlist/topo.hpp"
 #include "sweep/store.hpp"
 #include "util/args.hpp"
 #include "util/config_hash.hpp"
@@ -22,19 +25,21 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 namespace sm::sweep {
 namespace {
 
-/// One (benchmark, seed, defense) work unit; attacked at every split layer.
-/// Tasks of one (benchmark, seed) pair share a LayoutCache entry under
-/// `cache_key` — the generated netlist always, the base layout when the
-/// defense is Unprotected.
+/// One (benchmark, seed, defense) work unit; split at every split layer and
+/// attacked by every attacker of the grid. Tasks of one (benchmark, seed)
+/// pair share a LayoutCache entry under `cache_key` — the generated netlist
+/// always, the base placement for the placement-keeping baselines, the base
+/// layout when the defense is Unprotected.
 struct Task {
   std::string benchmark;
   std::uint64_t seed = 0;
   Defense defense = Defense::Unprotected;
-  bool superblue = false;
+  Workload workload = Workload::Iscas85;
   std::string cache_key;
 };
 
@@ -48,15 +53,34 @@ double now_ms() {
 /// Fires once per cell this task actually computed, after the task's rows
 /// (including the shared wall stamp) are final — the store appends here,
 /// so a record only ever describes a completed, fully-written cell.
-using CellCallback = std::function<void(std::size_t split_index)>;
+/// `cell_index` is the task-local index: split_index * attackers + ai.
+using CellCallback = std::function<void(std::size_t cell_index)>;
 
-/// Run one task and fill the rows of its *computed* split layers
-/// (compute[li] == 0 marks cells prefilled from the resume store — their
+core::PerturbStrategy perturb_strategy(Defense d) {
+  switch (d) {
+    case Defense::GColor: return core::PerturbStrategy::GColor;
+    case Defense::GType1: return core::PerturbStrategy::GType1;
+    case Defense::GType2: return core::PerturbStrategy::GType2;
+    default: return core::PerturbStrategy::Random;
+  }
+}
+
+int verdict_code(core::EquivVerdict v) {
+  switch (v) {
+    case core::EquivVerdict::Equivalent: return 1;
+    case core::EquivVerdict::Inequivalent: return 0;
+    case core::EquivVerdict::Unknown: break;
+  }
+  return 2;
+}
+
+/// Run one task and fill the rows of its *computed* cells
+/// (compute[ci] == 0 marks cells prefilled from the resume store — their
 /// rows are left untouched and their attacks skipped). Everything written
 /// to `rows` is a function of the task's grid coordinates and `opts`
 /// alone — this is where the thread-count independence of the whole sweep
-/// is decided, and why attacking only the missing subset of splits is
-/// bit-identical to a from-scratch run: each split's attack seeds from
+/// is decided, and why attacking only the missing subset of cells is
+/// bit-identical to a from-scratch run: each cell's attack seeds from
 /// (grid seed, split layer), never from which siblings ran beside it.
 /// Cached stage products keep that property too: they are deterministic
 /// in (benchmark, seed, options), so whether this task builds them or
@@ -66,12 +90,20 @@ void run_task(const Task& t, const Grid& grid, const Options& opts,
               core::LayoutCache& cache, Row* rows,
               const std::vector<char>& compute, const CellCallback& on_cell) {
   const double t0 = now_ms();
-  const auto spec = t.superblue
-                        ? workloads::superblue_profile(t.benchmark, grid.scale)
-                        : workloads::iscas85_profile(t.benchmark);
+  const auto spec = [&] {
+    switch (t.workload) {
+      case Workload::Superblue:
+        return workloads::superblue_profile(t.benchmark, grid.scale);
+      case Workload::Synthetic:
+        return workloads::synthetic_profile(t.benchmark, grid.scale);
+      case Workload::Iscas85:
+        break;
+    }
+    return workloads::iscas85_profile(t.benchmark);
+  }();
   const auto& nl = cache.netlist(
       t.cache_key, [&] { return workloads::generate(lib, spec, t.seed); });
-  auto flow = task_flow(t.benchmark, t.superblue, t.seed, grid.scale);
+  auto flow = task_flow(t.benchmark, t.workload, t.seed, grid.scale);
   // Scheduling only — applied outside task_flow so the config hash (which
   // digests task_flow's output) can never cover it.
   flow.router.jobs = router_jobs;
@@ -81,54 +113,154 @@ void run_task(const Task& t, const Grid& grid, const Options& opts,
   const core::SwapLedger* ledger = nullptr;
 
   std::optional<core::ProtectedDesign> design;
+  std::optional<core::LayoutResult> local;     // baseline-defense layouts
+  std::optional<core::SwappedLayout> swapped;  // pin-swap baseline
   std::size_t swaps = 0;
-  if (t.defense == Defense::Unprotected) {
-    const auto& base = cache.base_layout(t.cache_key, nl, flow);
-    feol = &base.physical(nl);
-    layout = &base;
-  } else {
-    design = core::protect(nl, task_randomize(t.seed), flow);
-    feol = &design->erroneous;
-    layout = &design->layout;
-    ledger = &design->ledger;
-    swaps = design->ledger.entries.size();
+  const BaselineRecipe recipe = baseline_recipe(t.defense);
+  switch (t.defense) {
+    case Defense::Unprotected: {
+      const auto& base = cache.base_layout(t.cache_key, nl, flow);
+      feol = &base.physical(nl);
+      layout = &base;
+      break;
+    }
+    case Defense::Proposed: {
+      design = core::protect(nl, task_randomize(t.seed), flow);
+      feol = &design->erroneous;
+      layout = &design->layout;
+      ledger = &design->ledger;
+      swaps = design->ledger.entries.size();
+      break;
+    }
+    case Defense::PlacePerturb:
+    case Defense::GColor:
+    case Defense::GType1:
+    case Defense::GType2: {
+      // Perturbation starts from the shared base placement (it swaps
+      // locations after placement — re-placing per defense would waste the
+      // cache and change nothing).
+      const auto& placed = cache.placed(t.cache_key, nl, flow);
+      local = core::layout_placement_perturbed(
+          nl, flow, placed, perturb_strategy(t.defense), recipe.fraction,
+          t.seed, recipe.radius_frac);
+      layout = &*local;
+      break;
+    }
+    case Defense::PinSwap: {
+      // The swap budget scales with instance size (the bench-harness rule);
+      // the *rule* is what the config hash covers.
+      const std::size_t n =
+          std::max(recipe.min_swaps,
+                   static_cast<std::size_t>(nl.num_nets()) /
+                       recipe.swap_divisor);
+      swapped = core::layout_pin_swapped(nl, flow, n, t.seed);
+      feol = &swapped->erroneous;
+      layout = &swapped->layout;
+      ledger = &swapped->ledger;
+      swaps = swapped->ledger.entries.size();
+      break;
+    }
+    case Defense::RoutePerturb: {
+      const auto& placed = cache.placed(t.cache_key, nl, flow);
+      local = core::layout_routing_perturbed(nl, flow, placed, recipe.fraction,
+                                             flow.lift_layer, t.seed);
+      layout = &*local;
+      break;
+    }
+    case Defense::RouteBlockage: {
+      const auto& placed = cache.placed(t.cache_key, nl, flow);
+      const double size = placed.placement.floorplan.die.width() /
+                          static_cast<double>(recipe.width_divisor);
+      local = core::layout_routing_blockage(nl, flow, placed, recipe.blockages,
+                                            size, recipe.blockage_max_layer,
+                                            t.seed);
+      layout = &*local;
+      break;
+    }
   }
 
+  const std::size_t n_att = grid.attackers.size();
   for (std::size_t li = 0; li < grid.split_layers.size(); ++li) {
-    if (!compute.empty() && !compute[li]) continue;
+    const std::size_t cell0 = li * n_att;
+    bool any = compute.empty();
+    for (std::size_t ai = 0; !any && ai < n_att; ++ai)
+      any = compute[cell0 + ai] != 0;
+    if (!any) continue;
     const int split = grid.split_layers[li];
+    // One split view per layer, shared by every attacker of the cell — the
+    // view is a pure function of (layout, split).
     const auto view =
         core::split_layout(*feol, layout->placement, layout->routing,
                            layout->tasks, layout->num_net_tasks, split);
-    attack::ProximityOptions aopts;
-    aopts.eval_patterns = opts.patterns;
-    // Attack randomness depends on (grid seed, split layer) only, never on
-    // the worker thread — the sweep's determinism guarantee.
-    aopts.seed = util::task_seed(t.seed, static_cast<std::uint64_t>(split));
-    const auto res =
-        attack::proximity_attack(*feol, nl, layout->placement, view, ledger,
-                                 aopts);
+    for (std::size_t ai = 0; ai < n_att; ++ai) {
+      if (!compute.empty() && !compute[cell0 + ai]) continue;
+      const Attacker attacker = grid.attackers[ai];
+      Row& row = rows[cell0 + ai];
+      row.benchmark = t.benchmark;
+      row.seed = t.seed;
+      row.split_layer = split;
+      row.defense = t.defense;
+      row.attacker = attacker;
+      row.swaps = swaps;
 
-    Row& row = rows[li];
-    row.benchmark = t.benchmark;
-    row.seed = t.seed;
-    row.split_layer = split;
-    row.defense = t.defense;
-    row.ccr = res.ccr();
-    row.ccr_protected = res.ccr_protected();
-    row.oer = res.rates.oer;
-    row.hd = res.rates.hd;
-    row.open_sinks = res.open_sinks;
-    row.swaps = swaps;
+      if (attacker == Attacker::CRouting) {
+        // Fully deterministic (no RNG, no threads): candidate confinement
+        // per vpin. The row reports the middle bounding box of the 15/30/45
+        // ladder — the paper's headline E[LS]/match-in-list column.
+        const auto res = attack::crouting_attack(view);
+        row.open_sinks = res.num_vpins;
+        if (!res.failed) {
+          const std::size_t mid = res.candidate_list_size.size() / 2;
+          row.ccr = res.match_in_list[mid];
+          row.ccr_protected = res.match_in_list[mid];
+          row.els = res.candidate_list_size[mid];
+        }
+        continue;  // oer/hd stay 0: crouting recovers nothing to simulate
+      }
+
+      attack::ProximityOptions aopts;
+      aopts.eval_patterns = opts.patterns;
+      // Attack randomness depends on (grid seed, split layer) only, never
+      // on the worker thread — the sweep's determinism guarantee.
+      aopts.seed = util::task_seed(t.seed, static_cast<std::uint64_t>(split));
+      aopts.keep_recovered = attacker == Attacker::Sat;
+      const auto res = attack::proximity_attack(*feol, nl, layout->placement,
+                                                view, ledger, aopts);
+      row.ccr = res.ccr();
+      row.ccr_protected = res.ccr_protected();
+      row.oer = res.rates.oer;
+      row.hd = res.rates.hd;
+      row.open_sinks = res.open_sinks;
+
+      if (attacker == Attacker::Sat) {
+        // Dis-correlation: equivalence-check the recovered netlist against
+        // the original. Anything the checker cannot decide (cyclic
+        // recovery, incomparable interfaces, SAT budget) reports Unknown —
+        // never a crash mid-sweep.
+        int code = 2;
+        if (res.recovered && netlist::is_acyclic(*res.recovered)) {
+          core::EquivOptions eopts;
+          eopts.seed = aopts.seed;
+          try {
+            code = verdict_code(
+                core::check_equivalence(nl, *res.recovered, eopts).verdict);
+          } catch (const std::invalid_argument&) {
+            code = 2;
+          }
+        }
+        row.equiv = code;
+      }
+    }
   }
-  // Task-granularity wall stamp (one timer per task: the splits share its
+  // Task-granularity wall stamp (one timer per task: the cells share its
   // layout), then the completion callbacks — record append happens last so
   // the log never holds a cell whose row is still being written.
   const double wall = now_ms() - t0;
-  for (std::size_t li = 0; li < grid.split_layers.size(); ++li) {
-    if (!compute.empty() && !compute[li]) continue;
-    rows[li].wall_ms = wall;
-    if (on_cell) on_cell(li);
+  const std::size_t n_cells = grid.split_layers.size() * n_att;
+  for (std::size_t ci = 0; ci < n_cells; ++ci) {
+    if (!compute.empty() && !compute[ci]) continue;
+    rows[ci].wall_ms = wall;
+    if (on_cell) on_cell(ci);
   }
 }
 
@@ -149,26 +281,37 @@ std::uint64_t parse_u64(const std::string& s, const char* what) {
 
 }  // namespace
 
-core::FlowOptions task_flow(const std::string& benchmark, bool superblue,
+core::FlowOptions task_flow(const std::string& benchmark, Workload workload,
                             std::uint64_t seed, double scale) {
   // Same flow tuning the benches and sm_flow use: M6 correction pins for
-  // ISCAS, M8 for superblue, utilization derated so the router stays
-  // congestion-free (bench/common.hpp is the reference). Scheduling knobs
-  // (router jobs/partition_depth) are NOT set here — the run loop applies
-  // them after hashing, see run_task.
+  // ISCAS, M8 for superblue and the large synthetic clones, utilization
+  // derated so the router stays congestion-free (bench/common.hpp is the
+  // reference). Scheduling knobs (router jobs/partition_depth) are NOT set
+  // here — the run loop applies them after hashing, see run_task.
   core::FlowOptions f;
   f.seed = seed;
   f.router.passes = 3;
   f.placer.seed = seed;
-  if (superblue) {
-    const auto spec = workloads::superblue_profile(benchmark, scale);
-    f.lift_layer = 8;
-    f.placer.target_utilization = spec.utilization * 0.5;
-    f.placer.detailed_passes = 1;
-  } else {
-    f.lift_layer = 6;
-    f.placer.target_utilization = 0.45;
-    f.placer.detailed_passes = 2;
+  switch (workload) {
+    case Workload::Superblue: {
+      const auto spec = workloads::superblue_profile(benchmark, scale);
+      f.lift_layer = 8;
+      f.placer.target_utilization = spec.utilization * 0.5;
+      f.placer.detailed_passes = 1;
+      break;
+    }
+    case Workload::Synthetic: {
+      const auto spec = workloads::synthetic_profile(benchmark, scale);
+      f.lift_layer = 8;
+      f.placer.target_utilization = spec.utilization * 0.5;
+      f.placer.detailed_passes = 1;
+      break;
+    }
+    case Workload::Iscas85:
+      f.lift_layer = 6;
+      f.placer.target_utilization = 0.45;
+      f.placer.detailed_passes = 2;
+      break;
   }
   return f;
 }
@@ -182,19 +325,105 @@ core::RandomizeOptions task_randomize(std::uint64_t seed) {
 }
 
 const char* to_string(Defense d) {
-  return d == Defense::Unprotected ? "unprotected" : "proposed";
+  switch (d) {
+    case Defense::Unprotected: return "unprotected";
+    case Defense::Proposed: return "proposed";
+    case Defense::PlacePerturb: return "place-perturb";
+    case Defense::GColor: return "g-color";
+    case Defense::GType1: return "g-type1";
+    case Defense::GType2: return "g-type2";
+    case Defense::PinSwap: return "pin-swap";
+    case Defense::RoutePerturb: return "route-perturb";
+    case Defense::RouteBlockage: return "route-blockage";
+  }
+  return "unprotected";
 }
 
 Defense defense_from_string(const std::string& name) {
   if (name == "unprotected" || name == "original") return Defense::Unprotected;
   if (name == "proposed" || name == "protected") return Defense::Proposed;
-  throw std::invalid_argument("sweep: unknown defense '" + name +
-                              "' (want unprotected|proposed)");
+  if (name == "place-perturb") return Defense::PlacePerturb;
+  if (name == "g-color") return Defense::GColor;
+  if (name == "g-type1") return Defense::GType1;
+  if (name == "g-type2") return Defense::GType2;
+  if (name == "pin-swap") return Defense::PinSwap;
+  if (name == "route-perturb") return Defense::RoutePerturb;
+  if (name == "route-blockage") return Defense::RouteBlockage;
+  throw std::invalid_argument(
+      "sweep: unknown defense '" + name +
+      "' (want unprotected|proposed|place-perturb|g-color|g-type1|g-type2|"
+      "pin-swap|route-perturb|route-blockage)");
+}
+
+bool is_baseline(Defense d) {
+  return d != Defense::Unprotected && d != Defense::Proposed;
+}
+
+BaselineRecipe baseline_recipe(Defense d) {
+  // The bench-harness parameter precedents: Table 4 perturbs 5% of gates
+  // within 0.1 die widths for Wang [5] and 25% within 0.2 for the Sengupta
+  // strategies [8]; Table 5 swaps max(4, nets/50) pins [3] and elevates 15%
+  // of the nets [12]; Table 6 scatters 5 blockages of die/14 up to M4 [7].
+  BaselineRecipe r;
+  switch (d) {
+    case Defense::PlacePerturb:
+      r.fraction = 0.05;
+      r.radius_frac = 0.1;
+      break;
+    case Defense::GColor:
+    case Defense::GType1:
+    case Defense::GType2:
+      r.fraction = 0.25;
+      r.radius_frac = 0.2;
+      break;
+    case Defense::PinSwap:
+      r.min_swaps = 4;
+      r.swap_divisor = 50;
+      break;
+    case Defense::RoutePerturb:
+      r.fraction = 0.15;
+      break;
+    case Defense::RouteBlockage:
+      r.blockages = 5;
+      r.blockage_max_layer = 4;
+      r.width_divisor = 14;
+      break;
+    case Defense::Unprotected:
+    case Defense::Proposed:
+      break;
+  }
+  return r;
+}
+
+const char* to_string(Attacker a) {
+  switch (a) {
+    case Attacker::Proximity: return "proximity";
+    case Attacker::CRouting: return "crouting";
+    case Attacker::Sat: return "sat";
+  }
+  return "proximity";
+}
+
+Attacker attacker_from_string(const std::string& name) {
+  if (name == "proximity") return Attacker::Proximity;
+  if (name == "crouting") return Attacker::CRouting;
+  if (name == "sat") return Attacker::Sat;
+  throw std::invalid_argument("sweep: unknown attacker '" + name +
+                              "' (want proximity|crouting|sat)");
+}
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::Iscas85: return "iscas85";
+    case Workload::Superblue: return "superblue";
+    case Workload::Synthetic: return "synthetic";
+  }
+  return "iscas85";
 }
 
 std::size_t Grid::combinations() const {
   return benchmarks.size() * seeds.size() * split_layers.size() *
-         defenses.size();
+         defenses.size() * attackers.size();
 }
 
 void Grid::set(const std::string& key, const std::string& value) {
@@ -211,6 +440,9 @@ void Grid::set(const std::string& key, const std::string& value) {
   } else if (key == "defenses") {
     defenses.clear();
     for (const auto& s : items) defenses.push_back(defense_from_string(s));
+  } else if (key == "attackers") {
+    attackers.clear();
+    for (const auto& s : items) attackers.push_back(attacker_from_string(s));
   } else if (key == "scale") {
     std::size_t used = 0;
     try {
@@ -223,7 +455,7 @@ void Grid::set(const std::string& key, const std::string& value) {
   } else {
     throw std::invalid_argument(
         "sweep: unknown grid key '" + key +
-        "' (want benchmarks|seeds|splits|defenses|scale)");
+        "' (want benchmarks|seeds|splits|defenses|attackers|scale)");
   }
 }
 
@@ -239,18 +471,33 @@ Grid Grid::parse(const std::string& spec) {
   return g;
 }
 
+namespace {
+
+/// Render Row::equiv for the table ("-" when not applicable).
+const char* equiv_text(int equiv) {
+  switch (equiv) {
+    case 1: return "eq";
+    case 0: return "NEQ";
+    case 2: return "?";
+    default: return "-";
+  }
+}
+
+}  // namespace
+
 util::Table Result::table() const {
-  util::Table t({"Benchmark", "Seed", "Split", "Defense", "CCR", "CCR(rand)",
-                 "OER", "HD", "Open sinks", "Task ms"});
+  util::Table t({"Benchmark", "Seed", "Split", "Defense", "Attacker", "CCR",
+                 "CCR(rand)", "OER", "HD", "Open sinks", "E[LS]", "Equiv",
+                 "Task ms"});
   for (const auto& r : rows)
     t.add_row({r.benchmark, std::to_string(r.seed),
                "M" + std::to_string(r.split_layer), to_string(r.defense),
-               util::Table::pct(100 * r.ccr, 1),
+               to_string(r.attacker), util::Table::pct(100 * r.ccr, 1),
                util::Table::pct(100 * r.ccr_protected, 1),
                util::Table::pct(100 * r.oer, 1),
                util::Table::pct(100 * r.hd, 1),
-               util::Table::count(r.open_sinks),
-               util::Table::num(r.wall_ms, 0)});
+               util::Table::count(r.open_sinks), util::Table::num(r.els, 1),
+               equiv_text(r.equiv), util::Table::num(r.wall_ms, 0)});
   return t;
 }
 
@@ -260,21 +507,24 @@ util::Table Result::summary() const {
     std::size_t n = 0;
   };
   // std::map keeps the summary ordering deterministic and readable
-  // (alphabetical benchmark, unprotected before proposed).
-  std::map<std::pair<std::string, int>, Acc> acc;
+  // (alphabetical benchmark, defenses then attackers in enum order).
+  std::map<std::tuple<std::string, int, int>, Acc> acc;
   for (const auto& r : rows) {
-    auto& a = acc[{r.benchmark, static_cast<int>(r.defense)}];
+    auto& a = acc[{r.benchmark, static_cast<int>(r.defense),
+                   static_cast<int>(r.attacker)}];
     a.ccr += r.ccr;
     a.ccr_prot += r.ccr_protected;
     a.oer += r.oer;
     a.hd += r.hd;
     ++a.n;
   }
-  util::Table t({"Benchmark", "Defense", "CCR", "CCR(rand)", "OER", "HD",
-                 "Cells"});
+  util::Table t({"Benchmark", "Defense", "Attacker", "CCR", "CCR(rand)",
+                 "OER", "HD", "Cells"});
   for (const auto& [key, a] : acc) {
     const double n = static_cast<double>(a.n);
-    t.add_row({key.first, to_string(static_cast<Defense>(key.second)),
+    t.add_row({std::get<0>(key),
+               to_string(static_cast<Defense>(std::get<1>(key))),
+               to_string(static_cast<Attacker>(std::get<2>(key))),
                util::Table::pct(100 * a.ccr / n, 1),
                util::Table::pct(100 * a.ccr_prot / n, 1),
                util::Table::pct(100 * a.oer / n, 1),
@@ -285,12 +535,13 @@ util::Table Result::summary() const {
 
 std::string Result::to_csv() const {
   std::ostringstream os;
-  os << "benchmark,seed,split_layer,defense,ccr,ccr_protected,oer,hd,"
-        "open_sinks,swaps,task_wall_ms\n";
+  os << "benchmark,seed,split_layer,defense,attacker,ccr,ccr_protected,oer,"
+        "hd,open_sinks,swaps,els,equiv,task_wall_ms\n";
   for (const auto& r : rows) {
     os << r.benchmark << ',' << r.seed << ',' << r.split_layer << ','
-       << to_string(r.defense) << ',' << r.ccr << ',' << r.ccr_protected
-       << ',' << r.oer << ',' << r.hd << ',' << r.open_sinks << ',' << r.swaps
+       << to_string(r.defense) << ',' << to_string(r.attacker) << ',' << r.ccr
+       << ',' << r.ccr_protected << ',' << r.oer << ',' << r.hd << ','
+       << r.open_sinks << ',' << r.swaps << ',' << r.els << ',' << r.equiv
        << ',' << r.wall_ms << '\n';
   }
   return os.str();
@@ -313,10 +564,12 @@ std::string Result::to_json() const {
     os << (i ? "," : "") << "\n    {\"benchmark\": \""
        << util::json_escape(r.benchmark) << "\", \"seed\": " << r.seed
        << ", \"split_layer\": " << r.split_layer << ", \"defense\": \""
-       << to_string(r.defense) << "\", \"ccr\": " << r.ccr
+       << to_string(r.defense) << "\", \"attacker\": \""
+       << to_string(r.attacker) << "\", \"ccr\": " << r.ccr
        << ", \"ccr_protected\": " << r.ccr_protected << ", \"oer\": " << r.oer
        << ", \"hd\": " << r.hd << ", \"open_sinks\": " << r.open_sinks
-       << ", \"swaps\": " << r.swaps << ", \"task_wall_ms\": " << r.wall_ms
+       << ", \"swaps\": " << r.swaps << ", \"els\": " << r.els
+       << ", \"equiv\": " << r.equiv << ", \"task_wall_ms\": " << r.wall_ms
        << "}";
   }
   os << (rows.empty() ? "]" : "\n  ]") << "\n}\n";
@@ -335,10 +588,10 @@ Result run(const Grid& grid, const Options& opts) {
 
   // Expand the grid into hashed cells (validates every benchmark name up
   // front, so a typo throws before hours of work). Cells are task-major:
-  // task ti owns cells [ti*splits, (ti+1)*splits).
+  // task ti owns cells [ti*cpt, (ti+1)*cpt), attacker innermost.
   const auto cells = expand_cells(grid, opts);
-  const std::size_t splits = grid.split_layers.size();
-  const std::size_t total_tasks = splits ? cells.size() / splits : 0;
+  const std::size_t cpt = grid.split_layers.size() * grid.attackers.size();
+  const std::size_t total_tasks = cpt ? cells.size() / cpt : 0;
 
   // Deterministic shard split: task ti belongs to shard ti % shard_count.
   // Round-robin (not contiguous blocks) so every shard sees a mix of cheap
@@ -351,12 +604,12 @@ Result run(const Grid& grid, const Options& opts) {
   Result result;
   result.shard_index = opts.shard_index;
   result.shard_count = opts.shard_count;
-  result.rows.resize(kept.size() * splits);
+  result.rows.resize(kept.size() * cpt);
 
   // Resume prefill: rows whose config hash is already logged are copied
-  // from the store and their splits masked off; a task with no missing
-  // split never runs at all. The recomputed subset is bit-identical to a
-  // from-scratch run (test-enforced), because each split's attack depends
+  // from the store and their cells masked off; a task with no missing
+  // cell never runs at all. The recomputed subset is bit-identical to a
+  // from-scratch run (test-enforced), because each cell's attack depends
   // only on (grid seed, split layer) — see run_task.
   const StoreContents resumed =
       opts.resume ? load_store({opts.store_path}, /*must_exist=*/false)
@@ -365,14 +618,14 @@ Result run(const Grid& grid, const Options& opts) {
   std::vector<std::size_t> runnable;  // local task indices with work left
   runnable.reserve(kept.size());
   for (std::size_t k = 0; k < kept.size(); ++k) {
-    compute[k].assign(splits, 1);
-    std::size_t missing = splits;
-    for (std::size_t li = 0; li < splits; ++li) {
-      const CellRef& cell = cells[kept[k] * splits + li];
+    compute[k].assign(cpt, 1);
+    std::size_t missing = cpt;
+    for (std::size_t ci = 0; ci < cpt; ++ci) {
+      const CellRef& cell = cells[kept[k] * cpt + ci];
       const auto it = resumed.records.find(cell.config_hash);
       if (it == resumed.records.end()) continue;
-      result.rows[k * splits + li] = it->second.row;
-      compute[k][li] = 0;
+      result.rows[k * cpt + ci] = it->second.row;
+      compute[k][ci] = 0;
       ++result.resumed_cells;
       --missing;
     }
@@ -404,38 +657,39 @@ Result run(const Grid& grid, const Options& opts) {
   core::LayoutCache cache;
 
   const double t0 = now_ms();
-  // Local row block for task k is [k*splits, (k+1)*splits): grid-major
-  // order among this shard's tasks, and no two tasks share a row — workers
+  // Local row block for task k is [k*cpt, (k+1)*cpt): grid-major order
+  // among this shard's tasks, and no two tasks share a row — workers
   // never contend on results. The per-cell completion callback appends to
   // the store (its own lock serializes writers) the moment a cell's row is
   // final, which is what makes a mid-sweep crash resumable.
   util::parallel_for(opts.jobs, runnable.size(), [&](std::size_t i) {
     const std::size_t k = runnable[i];
-    const CellRef& first = cells[kept[k] * splits];
+    const CellRef& first = cells[kept[k] * cpt];
     const Task task{first.benchmark, first.seed, first.defense,
-                    first.superblue,
+                    first.workload,
                     // All defenses of one (bench, seed) share one cache
                     // entry. The key needn't carry scale/options: they are
                     // constant within a run and the cache lives exactly as
                     // long as the run.
                     first.benchmark + "/" + std::to_string(first.seed)};
-    Row* rows = result.rows.data() + k * splits;
-    const CellCallback on_cell = [&, k](std::size_t li) {
+    Row* rows = result.rows.data() + k * cpt;
+    const CellCallback on_cell = [&, k](std::size_t ci) {
       if (!writer) return;
-      const CellRef& cell = cells[kept[k] * splits + li];
+      const CellRef& cell = cells[kept[k] * cpt + ci];
       StoreRecord rec;
       rec.config_hash = cell.config_hash;
-      rec.row = rows[li];
+      rec.row = rows[ci];
       rec.patterns = opts.patterns;
       rec.scale = grid.scale;
-      rec.config_json =
-          cell_config_json(grid, opts, cell.benchmark, cell.superblue,
-                           cell.seed, cell.defense, cell.split_layer);
+      rec.config_json = cell_config_json(grid, opts, cell.benchmark,
+                                         cell.workload, cell.seed,
+                                         cell.defense, cell.split_layer,
+                                         cell.attacker);
       writer->append(rec);
     };
     run_task(task, grid, opts, result.router_jobs,
-             task.superblue ? lib_superblue : lib_iscas, cache, rows,
-             compute[k], on_cell);
+             task.workload == Workload::Iscas85 ? lib_iscas : lib_superblue,
+             cache, rows, compute[k], on_cell);
   });
   result.wall_ms = now_ms() - t0;
   result.cache_stats = cache.stats();

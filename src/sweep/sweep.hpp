@@ -1,35 +1,41 @@
 // Parallel attack-sweep driver.
 //
 // The paper's headline tables are a cross product — benchmarks × seeds ×
-// split layers × defense configurations, each cell an independent
+// split layers × defenses × attackers, each cell an independent
 // place/route/(protect)/split/attack pipeline — which makes them
 // embarrassingly parallel. This module expands such a product (`Grid`) into
 // tasks, runs them over a util::ThreadPool, and aggregates the CCR/OER/HD
 // metrics into a util::Table plus CSV/JSON exports.
 //
 // Determinism guarantee: every metric in the result depends only on the
-// grid coordinates of its row — (benchmark, seed, split layer, defense) plus
-// the sweep options — never on the number of worker threads or on scheduling
-// order. Per-task randomness is derived with util::task_seed from the row's
-// own grid seed, and rows live at fixed grid-major indices, so
-// `run(grid, {.jobs = 8})` is bit-identical to `.jobs = 1` (only the wall
-// -clock fields differ). tests/test_sweep.cpp holds this as a regression.
+// grid coordinates of its row — (benchmark, seed, split layer, defense,
+// attacker) plus the sweep options — never on the number of worker threads
+// or on scheduling order. Per-task randomness is derived with
+// util::task_seed from the row's own grid seed, and rows live at fixed
+// grid-major indices, so `run(grid, {.jobs = 8})` is bit-identical to
+// `.jobs = 1` (only the wall-clock fields differ). tests/test_sweep.cpp and
+// tests/test_sweep_attackers.cpp hold this as a regression for every
+// attacker.
 //
 // Work granularity: one task per (benchmark, seed, defense) triple; the
-// task's layout is computed once and attacked at every split layer of the
-// grid (a layout does not depend on where it is later cut — recomputing it
-// per split would only burn CPU). Each (task × split) pair lands in its own
-// pre-assigned result row.
+// task's layout is computed once, split at every split layer of the grid,
+// and each split view is attacked by every attacker (a layout does not
+// depend on where it is later cut or who attacks it — recomputing it per
+// cell would only burn CPU). Each (task × split × attacker) triple lands in
+// its own pre-assigned result row.
 //
 // Cross-defense sharing: every defense of one (benchmark, seed) pair starts
-// from the same generated netlist, and attacks on the unprotected reference
-// start from the same base placement and route. Those stage products live
-// in a core::LayoutCache shared by the whole sweep (one entry per
-// (benchmark, seed)), built at most once by whichever task needs them
-// first; Result::cache_stats counts the builds — the base placement runs
-// exactly once per (benchmark, seed), which tests/test_sweep.cpp asserts.
-// (protect() still places each protected defense's *erroneous* netlist:
-// that placement is the defense mechanism itself and cannot be shared.)
+// from the same generated netlist, attacks on the unprotected reference
+// start from the same base placement and route, and the placement-keeping
+// baselines (placement perturbation re-places nothing; routing perturbation
+// / blockage re-route the base placement) start from the shared base
+// placement. Those stage products live in a core::LayoutCache shared by the
+// whole sweep (one entry per (benchmark, seed)), built at most once by
+// whichever task needs them first; Result::cache_stats counts the builds —
+// the base placement runs exactly once per (benchmark, seed), which
+// tests/test_sweep.cpp asserts. (protect() and the pin-swap baseline still
+// place their *erroneous* netlists: those placements are the defense
+// mechanism itself and cannot be shared.)
 //
 // Persistence: the run loop is event-sourced around per-cell completion
 // callbacks — with Options::store_path set, every finished cell is
@@ -51,40 +57,95 @@
 
 namespace sm::sweep {
 
-/// Layout/defense configuration attacked by a sweep cell.
+/// Layout/defense configuration attacked by a sweep cell. Beyond the
+/// paper's own flow the axis covers the prior-art baselines of
+/// core/baselines.hpp, so every comparison row of Tables 4/5/6 is one
+/// reproducible grid cell.
 enum class Defense {
-  Unprotected,  ///< plain layout of the original netlist
-  Proposed,     ///< the paper's randomize + correct + lift flow
+  Unprotected,    ///< plain layout of the original netlist
+  Proposed,       ///< the paper's randomize + correct + lift flow
+  PlacePerturb,   ///< Wang [5]: random bounded placement swaps
+  GColor,         ///< Sengupta [8]: swaps within equal-fan-in classes
+  GType1,         ///< Sengupta [8]: swaps within identical cell types
+  GType2,         ///< Sengupta [8]: swaps within same logic function
+  PinSwap,        ///< Rajendran [3]: real connection swaps, BEOL-corrected
+  RoutePerturb,   ///< Wang [12]: net elevation/detour above the split
+  RouteBlockage,  ///< Magana [7]: lateral blockages force wires upward
 };
 
 const char* to_string(Defense d);
-/// Parse "unprotected"/"original" or "proposed"/"protected". Throws
-/// std::invalid_argument otherwise.
+/// Parse a defense name ("unprotected"/"original", "proposed"/"protected",
+/// "place-perturb", "g-color", "g-type1", "g-type2", "pin-swap",
+/// "route-perturb", "route-blockage"). Throws std::invalid_argument
+/// otherwise.
 Defense defense_from_string(const std::string& name);
 
-/// The cross product a sweep evaluates. Benchmarks may mix ISCAS-85 and
-/// superblue names (`scale` applies to the superblue ones).
+/// True for the prior-art baselines (everything but Unprotected/Proposed).
+bool is_baseline(Defense d);
+
+/// The fixed recipe parameters of a baseline defense — the bench-harness
+/// precedents (Tables 4/5/6), centralized so the run loop and the config
+/// hash can never disagree. Sizes that depend on the instance (swap count,
+/// blockage size) are expressed as rules (divisors), not absolutes: the
+/// rule is what the hash covers.
+struct BaselineRecipe {
+  double fraction = 0.0;      ///< gate/net fraction perturbed
+  double radius_frac = 0.0;   ///< swap radius as a die-width fraction
+  std::size_t min_swaps = 0;  ///< pin-swap floor
+  std::size_t swap_divisor = 0;  ///< swaps = max(min_swaps, nets / divisor)
+  int blockages = 0;             ///< blockage count
+  int blockage_max_layer = 0;    ///< blockages span M1..this
+  int width_divisor = 0;  ///< blockage size = die width / width_divisor
+};
+/// The recipe for `d`; zeros for non-baseline defenses.
+BaselineRecipe baseline_recipe(Defense d);
+
+/// Attack model evaluated against a sweep cell's FEOL.
+enum class Attacker {
+  Proximity,  ///< network-flow proximity attack (recovers a netlist)
+  CRouting,   ///< routing-centric candidate confinement (Magana [6])
+  Sat,        ///< proximity recovery + SAT equivalence dis-correlation
+};
+
+const char* to_string(Attacker a);
+/// Parse "proximity", "crouting", or "sat". Throws std::invalid_argument
+/// otherwise.
+Attacker attacker_from_string(const std::string& name);
+
+/// Where a benchmark's generator spec comes from.
+enum class Workload {
+  Iscas85,    ///< published ISCAS-85 profile
+  Superblue,  ///< published superblue profile, scaled by Grid::scale
+  Synthetic,  ///< workloads::synthetic_profile (cell counts past the suites)
+};
+
+const char* to_string(Workload w);
+
+/// The cross product a sweep evaluates. Benchmarks may mix ISCAS-85,
+/// superblue (`scale` applies), and synthetic workload-generator names.
 struct Grid {
   std::vector<std::string> benchmarks;
   std::vector<std::uint64_t> seeds = {1};
   std::vector<int> split_layers = {3, 4, 5};
   std::vector<Defense> defenses = {Defense::Unprotected, Defense::Proposed};
+  std::vector<Attacker> attackers = {Attacker::Proximity};
   double scale = 0.02;  ///< superblue clone scale
 
   /// Rows run(...) will produce: the full product size.
   std::size_t combinations() const;
 
   /// Apply one grid key ("benchmarks", "seeds", "splits"/"split-layers",
-  /// "defenses", "scale") with a comma-separated value, replacing that
-  /// dimension. Empty list entries are skipped. Throws
-  /// std::invalid_argument on unknown keys, defenses, or malformed numbers
-  /// — the --grid spec and the individual CLI flags share this validated
-  /// path.
+  /// "defenses", "attackers", "scale") with a comma-separated value,
+  /// replacing that dimension. Empty list entries are skipped. Throws
+  /// std::invalid_argument on unknown keys, defenses, attackers, or
+  /// malformed numbers — the --grid spec and the individual CLI flags
+  /// share this validated path.
   void set(const std::string& key, const std::string& value);
 
   /// Parse a compact spec: semicolon-separated key=value pairs applied via
   /// set(), e.g.
-  ///   "benchmarks=c432,c880;seeds=1,2;splits=3,4,5;defenses=proposed;scale=0.02"
+  ///   "benchmarks=c432,c880;seeds=1,2;splits=3,4,5;defenses=proposed;"
+  ///   "attackers=proximity,crouting;scale=0.02"
   /// Omitted keys keep the defaults above.
   static Grid parse(const std::string& spec);
 };
@@ -116,16 +177,24 @@ struct Options {
 /// (benchmark, seed) uses — also the recipe the store's config hash covers
 /// (core::canonical_flow_json). Scheduling knobs (router jobs) are applied
 /// separately by the run loop and excluded from the hash.
-core::FlowOptions task_flow(const std::string& benchmark, bool superblue,
+core::FlowOptions task_flow(const std::string& benchmark, Workload workload,
                             std::uint64_t seed, double scale);
 core::RandomizeOptions task_randomize(std::uint64_t seed);
 
-/// One evaluated grid cell.
+/// One evaluated grid cell. The metric columns are attacker-polymorphic:
+///  - proximity: CCR / CCR-protected / OER / HD / open_sinks as before;
+///  - crouting: open_sinks = #vpins, ccr = ccr_protected = match-in-list at
+///    the middle bounding box, els = E[LS] there, oer = hd = 0 (crouting
+///    confines the solution space, it recovers nothing to simulate);
+///  - sat: proximity metrics plus `equiv` — the core::equivalence verdict
+///    of the recovered netlist against the original (the dis-correlation
+///    check: a defense "wins" when recovery is provably inequivalent).
 struct Row {
   std::string benchmark;
   std::uint64_t seed = 0;
   int split_layer = 0;
   Defense defense = Defense::Unprotected;
+  Attacker attacker = Attacker::Proximity;
 
   double ccr = 0.0;            ///< correct-connection rate, all open sinks
   double ccr_protected = 0.0;  ///< CCR restricted to randomized connections
@@ -133,6 +202,11 @@ struct Row {
   double hd = 0.0;
   std::size_t open_sinks = 0;
   std::size_t swaps = 0;    ///< defense swaps (0 for Unprotected)
+  double els = 0.0;  ///< crouting E[LS] at the middle bbox; 0 otherwise
+  /// SAT-attacker equivalence verdict of the recovered netlist vs the
+  /// original: 1 Equivalent, 0 Inequivalent, 2 Unknown (budget exhausted
+  /// or incomparable), -1 not applicable (non-sat attackers).
+  int equiv = -1;
   /// Task wall time, recorded at task granularity (all splits of one
   /// (benchmark, seed, defense) task share one timer because they share
   /// one layout). Provenance only: excluded from the store's config hash
@@ -144,9 +218,10 @@ struct Row {
 };
 
 struct Result {
-  /// Grid-major: benchmark, seed, defense, split. Under sharding, only the
-  /// cells of this shard's tasks (grid-major among them) — the full table
-  /// comes from materializing the merged shard logs.
+  /// Grid-major: benchmark, seed, defense, split, attacker (innermost).
+  /// Under sharding, only the cells of this shard's tasks (grid-major
+  /// among them) — the full table comes from materializing the merged
+  /// shard logs.
   std::vector<Row> rows;
   std::size_t jobs = 1;   ///< resolved worker count actually used
   /// Router threads inside each task: the leftover worker budget when the

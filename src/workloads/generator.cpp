@@ -248,4 +248,54 @@ const std::vector<std::string>& superblue_names() {
   return names;
 }
 
+namespace {
+
+struct SyntheticRow {
+  const char* name;
+  int gates;
+  int io_in, io_out;
+};
+
+// A clean power-of-4 scaling ladder: largest ISCAS clone is c7552 at 3512
+// gates and the default superblue clones land around 15-30k, so the ladder
+// starts above the former and tops out well past the latter. I/O follows a
+// perimeter-vs-area rule of thumb (~3*sqrt(gates) in, ~2*sqrt(gates) out).
+constexpr SyntheticRow kSynthetic[] = {
+    {"synth1k", 1000, 96, 64},
+    {"synth4k", 4000, 192, 128},
+    {"synth16k", 16000, 384, 256},
+    {"synth64k", 64000, 768, 512},
+    {"synth128k", 128000, 1086, 724},
+};
+
+}  // namespace
+
+GenSpec synthetic_profile(const std::string& name, double scale) {
+  if (scale <= 0.0 || scale > 1.0)
+    throw std::invalid_argument("synthetic_profile: scale must be in (0,1]");
+  for (const auto& row : kSynthetic) {
+    if (name != row.name) continue;
+    GenSpec s;
+    s.name = name;
+    s.num_gates = std::max(200, static_cast<int>(std::lround(
+                                    static_cast<double>(row.gates) * scale)));
+    const double io_scale = std::sqrt(scale);
+    s.num_pi = std::max(16, static_cast<int>(std::lround(row.io_in * io_scale)));
+    s.num_po = std::max(16, static_cast<int>(std::lround(row.io_out * io_scale)));
+    s.dff_fraction = 0.10;
+    s.locality_window = std::max(64, s.num_gates / 100);
+    s.fanout_decay = 0.35;
+    s.utilization = 0.60;
+    return s;
+  }
+  throw std::invalid_argument("synthetic_profile: unknown benchmark '" + name +
+                              "'");
+}
+
+const std::vector<std::string>& synthetic_names() {
+  static const std::vector<std::string> names = {
+      "synth1k", "synth4k", "synth16k", "synth64k", "synth128k"};
+  return names;
+}
+
 }  // namespace sm::workloads

@@ -63,4 +63,15 @@ const std::vector<std::string>& iscas85_names();
 GenSpec superblue_profile(const std::string& name, double scale = 0.02);
 const std::vector<std::string>& superblue_names();
 
+/// Pure synthetic scaling ladder: synth1k, synth4k, synth16k, synth64k,
+/// synth128k — gate counts past the ISCAS suite and (at full `scale`) past
+/// the scaled superblue clones, for pushing the sweep beyond the published
+/// benchmarks. `scale` shrinks cell and I/O counts exactly like
+/// superblue_profile (I/O with sqrt of the cell scale); the structural
+/// parameters follow the superblue recipe (sequential share, Rent-like
+/// locality) so the flow treats them as large flat designs. Throws
+/// std::invalid_argument for unknown names or scale outside (0, 1].
+GenSpec synthetic_profile(const std::string& name, double scale = 1.0);
+const std::vector<std::string>& synthetic_names();
+
 }  // namespace sm::workloads

@@ -33,6 +33,9 @@ void expect_rows_equal_modulo_wall(const std::vector<sweep::Row>& a,
     EXPECT_EQ(a[i].hd, b[i].hd) << "row " << i;
     EXPECT_EQ(a[i].open_sinks, b[i].open_sinks) << "row " << i;
     EXPECT_EQ(a[i].swaps, b[i].swaps) << "row " << i;
+    EXPECT_EQ(a[i].attacker, b[i].attacker) << "row " << i;
+    EXPECT_EQ(a[i].els, b[i].els) << "row " << i;
+    EXPECT_EQ(a[i].equiv, b[i].equiv) << "row " << i;
   }
 }
 

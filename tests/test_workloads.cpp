@@ -134,6 +134,38 @@ TEST(Workloads, SequentialCircuitsSimulate) {
   EXPECT_DOUBLE_EQ(r.oer, 0.0);
 }
 
+TEST(Workloads, SyntheticLadderScalesPastTheSuites) {
+  // The ladder is strictly increasing and starts above the largest ISCAS
+  // clone (c7552: 3512 gates) from its second rung.
+  int prev = 0;
+  for (const auto& name : synthetic_names()) {
+    const auto spec = synthetic_profile(name);
+    EXPECT_GT(spec.num_gates, prev) << name;
+    prev = spec.num_gates;
+  }
+  EXPECT_GT(synthetic_profile("synth4k").num_gates, 3512);
+  EXPECT_GE(synthetic_profile("synth128k").num_gates, 128000);
+  // Scale shrinks like superblue: gates linearly, I/O with sqrt.
+  const auto small = synthetic_profile("synth16k", 0.01);
+  const auto full = synthetic_profile("synth16k", 1.0);
+  EXPECT_LT(small.num_gates, full.num_gates);
+  EXPECT_LT(small.num_pi, full.num_pi);
+  EXPECT_THROW(synthetic_profile("synth9k"), std::invalid_argument);
+  EXPECT_THROW(synthetic_profile("synth4k", 0.0), std::invalid_argument);
+  EXPECT_THROW(synthetic_profile("synth4k", 1.5), std::invalid_argument);
+}
+
+TEST(Workloads, SyntheticProfilesGenerateValidNetlists) {
+  CellLibrary lib;
+  const auto spec = synthetic_profile("synth1k", 0.25);
+  const auto nl = generate(lib, spec, 3);  // validate() runs inside
+  EXPECT_GE(nl.num_gates(), 200u);
+  // Deterministic in (spec, seed) like every other profile.
+  const auto again = generate(lib, spec, 3);
+  EXPECT_EQ(nl.num_gates(), again.num_gates());
+  EXPECT_EQ(nl.num_nets(), again.num_nets());
+}
+
 TEST(Workloads, FanoutRespectsLimits) {
   CellLibrary lib;
   GenSpec s;
