@@ -66,6 +66,12 @@ def store_wall_ms(path):
                     continue  # torn final line of a crashed run
                 if not isinstance(rec, dict) or "config_hash" not in rec:
                     return None  # some other JSON file, not a store log
+                if rec.get("status") == "failed":
+                    # Quarantine marker (supervisor gave up on the cell):
+                    # no metrics, wall_ms 0 — summing it is harmless but
+                    # letting it *overwrite* the task key would zero out a
+                    # real task wall recorded by a sibling split's record.
+                    continue
                 key = (rec.get("benchmark"), rec.get("seed"),
                        rec.get("defense"))
                 walls[key] = rec.get("wall_ms", 0.0)
@@ -90,7 +96,9 @@ def pick_baseline(entries, host_threads):
     if not isinstance(entries, list):
         print("check_sweep_perf: baseline JSON is not a list", file=sys.stderr)
         sys.exit(2)
-    with_quick = [e for e in entries if "quick_wall_ms" in e]
+    with_quick = [
+        e for e in entries if isinstance(e, dict) and "quick_wall_ms" in e
+    ]
     same_tier = [
         e for e in with_quick
         if e.get("host_hardware_threads") == host_threads
@@ -104,7 +112,12 @@ def main(argv):
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--factor="):
-            factor = float(arg.split("=", 1)[1])
+            try:
+                factor = float(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"check_sweep_perf: bad {arg} (want --factor=NUMBER)",
+                      file=sys.stderr)
+                return 2
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -124,7 +137,13 @@ def main(argv):
               "passing (record one in BENCH_sweep.json)")
         return 0
 
-    base_ms = float(baseline["quick_wall_ms"])
+    try:
+        base_ms = float(baseline["quick_wall_ms"])
+    except (TypeError, ValueError):
+        print("check_sweep_perf: baseline quick_wall_ms "
+              f"{baseline.get('quick_wall_ms')!r} is not a number "
+              "(fix the BENCH_sweep.json entry)", file=sys.stderr)
+        return 2
     limit_ms = base_ms * factor
     tier = baseline.get("host_hardware_threads")
     tier_note = ("same tier" if tier == host_threads else

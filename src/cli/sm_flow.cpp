@@ -17,6 +17,12 @@
 //                      append-only JSONL log (crash-safe resume via
 //                      --resume, deterministic --shard i/N splits).
 //   sm_flow materialize — rebuild the sweep tables from store logs alone.
+//   sm_flow serve    — fault-tolerant sweep supervisor: dispatches missing
+//                      grid cells to child `sm_flow sweep` worker processes
+//                      it forks and monitors (per-cell watchdog, retry with
+//                      backoff, poison-cell quarantine). Survives worker
+//                      crashes, hangs, and torn logs; converges to the same
+//                      materialized table as a clean run.
 //   sm_flow list     — available benchmark profiles.
 //
 // Every stage is deterministic in (bench, scale, seed), so later stages
@@ -28,6 +34,7 @@
 #include "core/defio.hpp"
 #include "netlist/verilog.hpp"
 #include "sweep/store.hpp"
+#include "sweep/supervisor.hpp"
 #include "sweep/sweep.hpp"
 #include "util/table.hpp"
 
@@ -84,8 +91,24 @@ int usage(std::FILE* to) {
       "            hashes and shard assignments, then exit without running\n"
       "  materialize  rebuild sweep tables from store logs without running\n"
       "            anything: --store=F[,F2,...] plus the sweep grid flags;\n"
-      "            exits 1 listing any grid cell missing from the logs\n"
       "            [--csv=F] [--json=F] [--summary-only]\n"
+      "            exit codes: 0 complete, 1 cells missing from the logs\n"
+      "            (incomplete), 2 only quarantined/failed cells absent\n"
+      "            (degraded) — both listed sorted on stderr\n"
+      "  serve     fault-tolerant sweep supervisor: computes the missing\n"
+      "            cells of the grid by forking `sm_flow sweep` worker\n"
+      "            processes and riding through their failures\n"
+      "            --store=F (required) plus the sweep grid flags\n"
+      "            [--workers=N] concurrent worker processes (default 1)\n"
+      "            [--cell-timeout=SEC] watchdog wall-clock budget per\n"
+      "            missing cell, SIGKILL on expiry (default 300)\n"
+      "            [--max-retries=K] worker deaths charged to a cell before\n"
+      "            it is quarantined as \"status\":\"failed\" (default 3)\n"
+      "            [--backoff-base=MS] first retry delay, doubled per\n"
+      "            attempt with deterministic jitter (default 100)\n"
+      "            [--verbose] per-worker lifecycle log on stdout\n"
+      "            exit codes: 0 converged complete, 2 converged degraded\n"
+      "            (some cells quarantined)\n"
       "  list      available benchmark profiles\n"
       "\n"
       "common options:\n"
@@ -415,18 +438,25 @@ int cmd_sweep(const util::Args& args) {
   print_result_tables(args, result);
   std::printf("\nsweep wall time: %.0f ms (%zu cells, %zu worker threads)\n",
               result.wall_ms, result.rows.size(), result.jobs);
-  if (!opts.store_path.empty())
+  if (!opts.store_path.empty()) {
     std::printf("store: %zu cells computed and appended, %zu resumed from "
                 "%s\n",
                 result.computed_cells, result.resumed_cells,
                 opts.store_path.c_str());
+    if (result.quarantined_cells)
+      std::printf("store: %zu quarantined cells skipped (failed records)\n",
+                  result.quarantined_cells);
+  }
   return export_result(args, result);
 }
 
 /// sm_flow materialize: rebuild the sweep tables for a grid purely from
 /// store logs — the query side of the event-sourced store. Accepts several
-/// comma-separated logs (shard outputs) and merges them last-wins; any
-/// grid cell absent from the logs is listed and the exit status is 1.
+/// comma-separated logs (shard outputs) and merges them last-wins. Exit
+/// codes tell scripts "incomplete" from "degraded" apart: 1 when any cell
+/// has no record at all (run more sweeps), 2 when the only absences are
+/// quarantined cells (every attempt at them died — rerunning won't help
+/// without a fix). Both listings land on stderr, sorted by config hash.
 int cmd_materialize(const util::Args& args) {
   if (!args.has("store"))
     throw std::invalid_argument("materialize: --store=FILE[,FILE...] is "
@@ -451,14 +481,79 @@ int cmd_materialize(const util::Args& args) {
   std::printf("\nmaterialized %zu/%zu grid cells from the store\n",
               mat.result.rows.size(), grid.combinations());
   if (const int rc = export_result(args, mat.result); rc != 0) return rc;
+  // The degradation report (stderr, cells sorted by config hash so shard
+  // order never changes the bytes — CI diffs this). Torn lines are
+  // labelled too: a nonzero count is normal after a crashed run (the cell
+  // a tear would have held was never acknowledged) but worth eyes.
+  if (store.skipped > 0)
+    std::fprintf(stderr,
+                 "materialize: %zu torn line(s) skipped (unacknowledged "
+                 "crash tails)\n",
+                 store.skipped);
+  if (!mat.quarantined.empty()) {
+    std::fprintf(stderr,
+                 "materialize: %zu cells quarantined (workers died "
+                 "repeatedly; no metrics):\n",
+                 mat.quarantined.size());
+    for (const auto& cell : mat.quarantined)
+      std::fprintf(stderr, "  %s\n", sweep::describe(cell).c_str());
+  }
   if (!mat.missing.empty()) {
     std::fprintf(stderr, "materialize: %zu cells missing from the store:\n",
                  mat.missing.size());
     for (const auto& cell : mat.missing)
       std::fprintf(stderr, "  %s\n", sweep::describe(cell).c_str());
-    return 1;
+    return 1;  // incomplete: cells with no record at all
   }
-  return 0;
+  return mat.quarantined.empty() ? 0 : 2;  // 2 = complete but degraded
+}
+
+/// sm_flow serve: the fault-tolerant supervisor (sweep/supervisor.hpp).
+/// Expands the grid, diffs it against the store log, and dispatches the
+/// missing cells to child `sm_flow sweep --resume` workers — re-exec'ing
+/// this very binary — with a per-cell watchdog, retry/backoff, and
+/// poison-cell quarantine. Exits 0 when the grid converged complete, 2
+/// when it converged degraded (cells quarantined).
+int cmd_serve(const util::Args& args) {
+  const bool quick = args.get_bool("quick", false);
+  const sweep::Grid grid = grid_from_args(args, quick);
+
+  sweep::ServeOptions sopts;
+  sopts.sweep.patterns = args.get_count("patterns", quick ? 2000 : 100000);
+  sopts.sweep.store_path = args.has("store") ? args.get("store", "") : "";
+  if (sopts.sweep.store_path.empty())
+    throw std::invalid_argument("serve: --store=FILE is required");
+  sopts.workers = args.get_count("workers", 1);
+  sopts.cell_timeout_s = args.get_double("cell-timeout", 300.0);
+  sopts.max_retries = args.get_count("max-retries", 3);
+  sopts.backoff_base_ms = args.get_double("backoff-base", 100.0);
+  if (args.get_bool("verbose", false))
+    sopts.log = [](const std::string& msg) {
+      std::printf("serve: %s\n", msg.c_str());
+    };
+
+  std::printf("serve: %zu cells (%zu benchmarks x %zu seeds x %zu splits x "
+              "%zu defenses x %zu attackers), --workers=%zu, "
+              "--cell-timeout=%.0fs, --max-retries=%zu, store %s\n",
+              grid.combinations(), grid.benchmarks.size(), grid.seeds.size(),
+              grid.split_layers.size(), grid.defenses.size(),
+              grid.attackers.size(), sopts.workers, sopts.cell_timeout_s,
+              sopts.max_retries, sopts.sweep.store_path.c_str());
+
+  const auto report = sweep::serve(grid, sopts);
+  std::printf("serve: converged in %.0f ms — %zu cells (%zu already stored, "
+              "%zu computed, %zu quarantined now, %zu quarantined before), "
+              "%zu workers spawned, %zu deaths (%zu watchdog kills)\n",
+              report.wall_ms, report.total_cells, report.already_stored,
+              report.computed, report.quarantined, report.pre_quarantined,
+              report.workers_spawned, report.worker_deaths,
+              report.watchdog_kills);
+  if (report.degraded())
+    std::fprintf(stderr,
+                 "serve: DEGRADED — %zu cells quarantined; `sm_flow "
+                 "materialize` lists them (exit 2)\n",
+                 report.pre_quarantined + report.quarantined);
+  return report.degraded() ? 2 : 0;
 }
 
 int cmd_list() {
@@ -485,6 +580,7 @@ int run(int argc, char** argv) {
   // single-run FlowSetup does not apply.
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "materialize") return cmd_materialize(args);
+  if (cmd == "serve") return cmd_serve(args);
   const FlowSetup setup = parse_setup(args);
   if (cmd == "protect") return cmd_protect(args, setup);
   if (cmd == "split") return cmd_split(args, setup);

@@ -2,8 +2,12 @@
 
 #include "core/pipeline.hpp"
 #include "util/config_hash.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 #include "workloads/generator.hpp"
+
+#include <chrono>
+#include <thread>
 
 #include <algorithm>
 #include <cerrno>
@@ -150,9 +154,13 @@ std::vector<CellRef> expand_cells(const Grid& grid, const Options& opts) {
 }
 
 std::string to_store_line(const StoreRecord& rec) {
+  // Quarantine fields are *conditional* (failed records only) so every
+  // healthy record — i.e. every record in every pre-quarantine log — keeps
+  // its exact bytes; tests/test_store.cpp pins the round-trip.
   util::JsonWriter w;
   w.begin_object();
   w.key("attacker").value(to_string(rec.row.attacker));
+  if (rec.failed) w.key("attempts").value(rec.attempts);
   w.key("benchmark").value(rec.row.benchmark);
   w.key("ccr").value(rec.row.ccr);
   w.key("ccr_protected").value(rec.row.ccr_protected);
@@ -168,6 +176,7 @@ std::string to_store_line(const StoreRecord& rec) {
   w.key("scale").value(rec.scale);
   w.key("seed").value(rec.row.seed);
   w.key("split_layer").value(rec.row.split_layer);
+  if (rec.failed) w.key("status").value("failed");
   w.key("swaps").value(rec.row.swaps);
   w.key("wall_ms").value(rec.row.wall_ms);
   w.end_object();
@@ -192,6 +201,19 @@ StoreRecord parse_store_line(const std::string& line) {
   if (const auto* e = v.find("els")) rec.row.els = e->as_double();
   if (const auto* q = v.find("equiv"))
     rec.row.equiv = static_cast<int>(q->as_int());
+  // Quarantine marker (absent = ok; every pre-quarantine record is ok by
+  // construction). Anything but the two known statuses is a torn/foreign
+  // line, not a record to guess about.
+  if (const auto* s = v.find("status")) {
+    const auto& status = s->as_string();
+    if (status == "failed")
+      rec.failed = true;
+    else if (status != "ok")
+      throw std::invalid_argument("store: unknown record status '" + status +
+                                  "'");
+  }
+  if (const auto* a = v.find("attempts"))
+    rec.attempts = static_cast<std::size_t>(a->as_u64());
   rec.row.ccr = v.at("ccr").as_double();
   rec.row.ccr_protected = v.at("ccr_protected").as_double();
   rec.row.oer = v.at("oer").as_double();
@@ -205,10 +227,28 @@ StoreRecord parse_store_line(const std::string& line) {
 }
 
 StoreWriter::StoreWriter(std::string path) : path_(std::move(path)) {
+  const bool existed = ::access(path_.c_str(), F_OK) == 0;
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0)
     throw std::runtime_error("store: cannot open '" + path_ +
                              "': " + std::strerror(errno));
+  if (!existed) {
+    // Durability of the file's *existence*: fsync on the data fd makes the
+    // records durable, but the directory entry pointing at a brand-new log
+    // lives in the parent directory — without syncing that too, a power
+    // loss can forget the whole file, fsync'd records and all. Best-effort
+    // (some filesystems refuse directory fsync): the failure mode is the
+    // pre-fix status quo, not corruption.
+    const auto slash = path_.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "."
+                            : slash == 0               ? "/"
+                                         : path_.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
 }
 
 StoreWriter::~StoreWriter() {
@@ -219,9 +259,23 @@ void StoreWriter::append(const StoreRecord& rec) {
   std::string line = to_store_line(rec);
   line += '\n';
   const std::lock_guard<std::mutex> lock(mu_);
+  // Injection points (inert unless SM_FAULT arms them, util/fault.hpp):
+  // the append is the durability edge every crash-safety claim is about,
+  // so this is where chaos tests make workers hang, die, and tear lines.
+  if (const auto slow =
+          util::fault_hit(util::FaultPoint::SlowCell, rec.config_hash);
+      slow.fire)
+    std::this_thread::sleep_for(std::chrono::milliseconds(slow.sleep_ms));
+  if (util::fault_hit(util::FaultPoint::CrashBeforeAppend, rec.config_hash)
+          .fire)
+    util::fault_crash(util::FaultPoint::CrashBeforeAppend);
+  const bool tear =
+      util::fault_hit(util::FaultPoint::TornWrite, rec.config_hash).fire;
+  if (tear) line.resize(line.size() / 2);  // half a record, no newline
   // One write(2) per record: O_APPEND makes concurrent appends (other
-  // shards pointed at the same log) land whole-line, and the fsync makes
-  // the record durable before the task is considered complete.
+  // shards and serve workers pointed at the same log) land whole-line, and
+  // the fsync makes the record durable before the task is considered
+  // complete. EINTR and short writes are retried, not treated as failures.
   std::size_t off = 0;
   while (off < line.size()) {
     const auto n = ::write(fd_, line.data() + off, line.size() - off);
@@ -232,9 +286,15 @@ void StoreWriter::append(const StoreRecord& rec) {
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0)
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
     throw std::runtime_error("store: fsync of '" + path_ +
                              "' failed: " + std::strerror(errno));
+  }
+  if (tear) util::fault_crash(util::FaultPoint::TornWrite);
+  if (util::fault_hit(util::FaultPoint::CrashAfterAppend, rec.config_hash)
+          .fire)
+    util::fault_crash(util::FaultPoint::CrashAfterAppend);
 }
 
 StoreContents load_store(const std::vector<std::string>& paths,
@@ -261,10 +321,16 @@ StoreContents load_store(const std::vector<std::string>& paths,
         ++out.skipped;
         continue;
       }
-      auto [it, inserted] =
-          out.records.insert_or_assign(rec.config_hash, std::move(rec));
-      (void)it;
-      if (!inserted) ++out.duplicates;
+      const auto it = out.records.find(rec.config_hash);
+      if (it == out.records.end()) {
+        out.records.emplace(rec.config_hash, std::move(rec));
+      } else {
+        ++out.duplicates;
+        // Last-wins, except success is sticky: a quarantine marker only
+        // says workers died while the cell was missing, so it never
+        // supersedes a completed record, whatever order shard logs merge.
+        if (!(rec.failed && !it->second.failed)) it->second = std::move(rec);
+      }
     }
   }
   return out;
@@ -281,15 +347,24 @@ Materialized materialize(const Grid& grid, const Options& opts,
       out.missing.push_back(cell);
       continue;
     }
+    if (it->second.failed) {
+      // Quarantined: every attempt at this cell killed its worker. It is
+      // not a row (there are no metrics) and not missing (re-running won't
+      // help) — callers report it as the third state, "degraded".
+      out.quarantined.push_back(cell);
+      continue;
+    }
     out.result.rows.push_back(it->second.row);
     ++out.result.resumed_cells;
   }
-  // Missing cells sort by config hash, not discovery order: shard filters
-  // visit cells in different orders, and CI byte-diffs the stderr listing.
-  std::sort(out.missing.begin(), out.missing.end(),
-            [](const CellRef& a, const CellRef& b) {
-              return a.config_hash < b.config_hash;
-            });
+  // Missing/quarantined cells sort by config hash, not discovery order:
+  // shard filters visit cells in different orders, and CI byte-diffs the
+  // stderr listing.
+  const auto by_hash = [](const CellRef& a, const CellRef& b) {
+    return a.config_hash < b.config_hash;
+  };
+  std::sort(out.missing.begin(), out.missing.end(), by_hash);
+  std::sort(out.quarantined.begin(), out.quarantined.end(), by_hash);
   return out;
 }
 

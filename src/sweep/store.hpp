@@ -100,6 +100,15 @@ struct StoreRecord {
   std::size_t patterns = 0;
   double scale = 0.0;
   std::string config_json;  ///< full canonical recipe (may be empty on load)
+  /// Quarantine marker (sweep/supervisor.hpp): a cell whose workers died
+  /// --max-retries times is recorded with `failed` set — its `row` carries
+  /// the grid coordinates but no metrics — so resume skips it instead of
+  /// re-dying on it and materialize reports it separately from missing
+  /// cells. Serialized as a *conditional* `"status":"failed"` key (plus the
+  /// attempt count), so every healthy record's bytes — and therefore every
+  /// pre-existing log — are untouched.
+  bool failed = false;
+  std::size_t attempts = 0;  ///< worker deaths that led to the quarantine
 };
 
 /// Serialize to one JSONL line (no trailing newline) / parse one line.
@@ -111,9 +120,15 @@ StoreRecord parse_store_line(const std::string& line);
 
 /// Append-only log writer: opens O_APPEND, writes one record per line and
 /// fsyncs each append — a crash never loses an acknowledged cell and at
-/// most tears the final line (which load_store tolerates). Thread-safe:
-/// workers append as their tasks complete, each line is written with a
-/// single write(2).
+/// most tears the final line (which load_store tolerates). Creating a new
+/// log also fsyncs the parent directory: an fsync'd file in an un-fsync'd
+/// directory can vanish wholesale on power loss. Thread-safe: workers
+/// append as their tasks complete, each line is written with a single
+/// write(2) (looped on EINTR/short writes). append() is also where the
+/// util/fault injection points live (slow-cell, crash-before-append,
+/// torn-write, crash-after-append — in that order, with the record's
+/// config hash as context), because a record append is exactly the
+/// durability edge every crash-safety claim is about.
 class StoreWriter {
  public:
   explicit StoreWriter(std::string path);  ///< throws std::runtime_error
@@ -132,7 +147,11 @@ class StoreWriter {
 
 /// A loaded (possibly merged) store: records keyed by config hash,
 /// duplicate keys last-wins — so `cat shard0.jsonl shard1.jsonl` or
-/// re-running a sweep into the same log are both valid stores.
+/// re-running a sweep into the same log are both valid stores. One
+/// exception to last-wins: a completed (ok) record is never overwritten by
+/// a `failed` quarantine record — success is sticky, whatever order shard
+/// logs merge in (a failed record only marks that workers died *while the
+/// cell was missing*).
 struct StoreContents {
   std::map<std::string, StoreRecord> records;
   std::size_t lines = 0;       ///< non-empty lines seen
@@ -152,9 +171,13 @@ StoreContents load_store(const std::vector<std::string>& paths,
 /// pure materialization — compute fields (jobs, cache_stats, sweep
 /// wall_ms) stay zero/defaults and every row's wall_ms comes from its
 /// record.
+/// `missing` = cells with no record at all (the sweep is *incomplete*);
+/// `quarantined` = cells whose record is a failed quarantine marker (the
+/// sweep is *degraded* — every attempt died). Both sorted by config hash.
 struct Materialized {
   Result result;
   std::vector<CellRef> missing;
+  std::vector<CellRef> quarantined;
 };
 Materialized materialize(const Grid& grid, const Options& opts,
                          const StoreContents& store);

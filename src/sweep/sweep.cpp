@@ -553,6 +553,7 @@ std::string Result::to_json() const {
      << ",\n  \"wall_ms\": " << wall_ms
      << ",\n  \"computed_cells\": " << computed_cells
      << ",\n  \"resumed_cells\": " << resumed_cells
+     << ",\n  \"quarantined_cells\": " << quarantined_cells
      << ",\n  \"shard_index\": " << shard_index
      << ",\n  \"shard_count\": " << shard_count
      << ",\n  \"cache\": {\"netlists\": " << cache_stats.netlists
@@ -615,6 +616,7 @@ Result run(const Grid& grid, const Options& opts) {
       opts.resume ? load_store({opts.store_path}, /*must_exist=*/false)
                   : StoreContents{};
   std::vector<std::vector<char>> compute(kept.size());
+  std::vector<char> quarantined(kept.size() * cpt, 0);
   std::vector<std::size_t> runnable;  // local task indices with work left
   runnable.reserve(kept.size());
   for (std::size_t k = 0; k < kept.size(); ++k) {
@@ -624,10 +626,19 @@ Result run(const Grid& grid, const Options& opts) {
       const CellRef& cell = cells[kept[k] * cpt + ci];
       const auto it = resumed.records.find(cell.config_hash);
       if (it == resumed.records.end()) continue;
-      result.rows[k * cpt + ci] = it->second.row;
       compute[k][ci] = 0;
-      ++result.resumed_cells;
       --missing;
+      if (it->second.failed) {
+        // Quarantined by a supervisor after repeated worker deaths:
+        // recomputing it here would just die the same way. Skip it and
+        // drop its row (no metrics exist) — the cell stays visible through
+        // Result::quarantined_cells and `sm_flow materialize`.
+        quarantined[k * cpt + ci] = 1;
+        ++result.quarantined_cells;
+        continue;
+      }
+      result.rows[k * cpt + ci] = it->second.row;
+      ++result.resumed_cells;
     }
     result.computed_cells += missing;
     if (missing) runnable.push_back(k);
@@ -693,6 +704,16 @@ Result run(const Grid& grid, const Options& opts) {
   });
   result.wall_ms = now_ms() - t0;
   result.cache_stats = cache.stats();
+  if (result.quarantined_cells) {
+    // Quarantined cells hold no metrics — compact their placeholder rows
+    // out so tables/CSV only ever show real results (grid-major order
+    // among the surviving cells is preserved).
+    std::vector<Row> rows;
+    rows.reserve(result.rows.size() - result.quarantined_cells);
+    for (std::size_t i = 0; i < result.rows.size(); ++i)
+      if (!quarantined[i]) rows.push_back(std::move(result.rows[i]));
+    result.rows = std::move(rows);
+  }
   return result;
 }
 

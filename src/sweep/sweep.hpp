@@ -240,6 +240,12 @@ struct Result {
   /// store; computed + resumed == rows.size().
   std::size_t computed_cells = 0;
   std::size_t resumed_cells = 0;
+  /// Cells the resume store quarantined ("status":"failed" records written
+  /// by sweep/supervisor.hpp after repeated worker deaths): skipped, not
+  /// recomputed — a worker re-running a poison cell would just die again —
+  /// and excluded from rows (they have no metrics). Always 0 without
+  /// --resume or without a supervisor in the picture.
+  std::size_t quarantined_cells = 0;
   std::size_t shard_index = 0;  ///< echo of Options (0/1 when unsharded)
   std::size_t shard_count = 1;
 

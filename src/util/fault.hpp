@@ -1,0 +1,90 @@
+// Deterministic fault injection for robustness tests and chaos smokes.
+//
+// Production code declares *named injection points* at the exact places a
+// crash, torn write, or hang would be most damaging (today: the store's
+// append path, see sweep/store.cpp). Each point is inert — a counter bump
+// behind one branch — until *armed* through the SM_FAULT environment
+// variable, which child worker processes inherit from their supervisor, so
+// one variable describes a whole fleet's fault schedule:
+//
+//   SM_FAULT=<arm>[,<arm>...]
+//   <arm>  = <point>:<trigger>[:ms=<N>]
+//   point  = crash-before-append | crash-after-append | torn-write
+//          | slow-cell
+//   trigger= <nth>      fire exactly on the nth hit of the point in this
+//                       process (1-based), then never again — models a
+//                       one-shot transient (a worker that dies mid-sweep);
+//          = hash=<hex> fire on EVERY hit whose context string starts with
+//                       <hex> (the context at the store points is the
+//                       record's config hash) — models a poison cell that
+//                       kills any worker that ever touches it;
+//   ms=N   slow-cell's sleep duration in milliseconds (default 30000).
+//
+// Determinism: hit counters are per-process and per-point, the schedule is
+// a pure function of (spec, hit sequence), and the hit sequence at the
+// store points is the deterministic cell completion order — so an injected
+// fault lands at the same cell on every run, which is what lets CI
+// byte-diff a chaos run against a clean one. Unarmed points stay cheap
+// (one atomic-free counter increment under a mutex only on the hit path,
+// nothing at all in code that never hits a point).
+//
+// tests/test_fault.cpp holds the contract: nth arming fires exactly once
+// on exactly the nth hit, hash arming fires on every matching hit,
+// unarmed points never fire, bad specs throw, and the spec round-trips
+// through a child process environment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sm::util {
+
+enum class FaultPoint {
+  CrashBeforeAppend,  ///< store append: die before the record is written
+  CrashAfterAppend,   ///< store append: die after write + fsync
+  TornWrite,          ///< store append: write a prefix of the line, then die
+  SlowCell,           ///< store append: sleep (trips the serve watchdog)
+};
+inline constexpr std::size_t kNumFaultPoints = 4;
+
+const char* to_string(FaultPoint p);
+
+/// Exit code of a process killed by an injected crash — distinct from every
+/// real sm_flow exit so a supervisor test can tell "fault fired" from
+/// "genuine bug".
+inline constexpr int kFaultCrashExit = 70;
+
+/// Parse `spec` and install it as this process's fault schedule, replacing
+/// any previous one and resetting all hit counters. The empty string
+/// disarms everything. Throws std::invalid_argument on malformed specs
+/// (unknown point, zero/garbage nth, empty hash, bad ms).
+void fault_arm(const std::string& spec);
+
+/// Arm from the SM_FAULT environment variable (empty/unset disarms). This
+/// is also what the first fault_hit of a process does implicitly, so a
+/// child worker is armed the moment it hits a point — no opt-in needed in
+/// main(). A malformed SM_FAULT throws (better than silently running a
+/// chaos test without the chaos).
+void fault_arm_from_env();
+
+struct FaultAction {
+  bool fire = false;        ///< this hit triggers the armed fault
+  std::uint64_t sleep_ms = 0;  ///< slow-cell only: how long to sleep
+};
+
+/// Register one hit of `p` with an optional context string (the config hash
+/// at the store points) and report whether an armed fault fires here.
+/// Always counts the hit, armed or not.
+FaultAction fault_hit(FaultPoint p, std::string_view context = {});
+
+/// Hits of `p` so far in this process (diagnostics/tests).
+std::size_t fault_hits(FaultPoint p);
+
+/// Terminate the process the way an injected crash does: _exit(
+/// kFaultCrashExit) — no atexit handlers, no flushing, exactly the torn
+/// state a real kill would leave.
+[[noreturn]] void fault_crash(FaultPoint p);
+
+}  // namespace sm::util
