@@ -2,6 +2,7 @@
 // bit-parallel simulation, randomization, FM placement, maze routing, the
 // proximity attack. Useful for tracking performance regressions; not part
 // of the paper's evaluation.
+#include "attack/mcmf.hpp"
 #include "attack/proximity.hpp"
 #include "core/protect.hpp"
 #include "core/split.hpp"
@@ -39,10 +40,25 @@ void BM_Simulation64Patterns(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 
+// BM_CompareOerHd / BM_CompareThroughputJobs pin lanes=1 (the pre-ISSUE-10
+// scalar word path) so the rigs stay comparable across releases; the
+// *Lanes variants below sweep the wide-word widths. OER/HD are
+// bit-identical for every lane width (tests/test_sim.cpp) — only the wall
+// time moves.
 void BM_CompareOerHd(benchmark::State& state) {
   const auto nl = make_bench("c880");
   for (auto _ : state) {
-    const auto r = sim::compare(nl, nl, 4096, 3);
+    const auto r = sim::compare(nl, nl, 4096, 3, 1, 1);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+// Arg = lane width (uint64 words evaluated per gate visit).
+void BM_CompareOerHdLanes(benchmark::State& state) {
+  const auto nl = make_bench("c880");
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto r = sim::compare(nl, nl, 4096, 3, 1, lanes);
     benchmark::DoNotOptimize(r);
   }
 }
@@ -55,7 +71,20 @@ void BM_CompareThroughputJobs(benchmark::State& state) {
   const std::size_t jobs = static_cast<std::size_t>(state.range(0));
   constexpr std::size_t kPatterns = 65536;
   for (auto _ : state) {
-    const auto r = sim::compare(nl, nl, kPatterns, 3, jobs);
+    const auto r = sim::compare(nl, nl, kPatterns, 3, jobs, 1);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kPatterns));
+}
+
+// Serial wide-word throughput: Arg = lane width.
+void BM_CompareThroughputLanes(benchmark::State& state) {
+  const auto nl = make_bench("c2670");
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPatterns = 65536;
+  for (auto _ : state) {
+    const auto r = sim::compare(nl, nl, kPatterns, 3, 1, lanes);
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -196,12 +225,13 @@ struct AttackRig {
 };
 
 void attack_candidates(benchmark::State& state, int index_min_drivers,
-                       std::size_t jobs) {
+                       std::size_t jobs, bool mcmf_warm = true) {
   const auto& rig = AttackRig::instance();
   attack::ProximityOptions opts;
   opts.eval_patterns = 64;
   opts.index_min_drivers = index_min_drivers;
   opts.jobs = jobs;
+  opts.mcmf_warm = mcmf_warm;
   for (auto _ : state) {
     const auto res = attack::proximity_attack(
         rig.nl, rig.nl, rig.layout.placement, rig.view, nullptr, opts);
@@ -217,8 +247,97 @@ void BM_AttackCandidatesIndexed(benchmark::State& state) {
   attack_candidates(state, 0, 1);
 }
 
+// The ISSUE-10 comparison rig: the identical attack with the per-round
+// cold rebuild instead of the live warm-started solver. Metrics are
+// bit-identical to BM_AttackCandidatesIndexed (tests/test_attack.cpp
+// WarmColdRig.C7552) — only the matcher's wall time moves.
+void BM_AttackCandidatesColdMcmf(benchmark::State& state) {
+  attack_candidates(state, 0, 1, /*mcmf_warm=*/false);
+}
+
 void BM_AttackCandidatesIndexedJobs(benchmark::State& state) {
   attack_candidates(state, 0, static_cast<std::size_t>(state.range(0)));
+}
+
+// ---- MCMF solver rigs (ISSUE-10) ----
+// A random assignment-shaped network mirroring the attack's loop-repair
+// instances: S → sinks (cap 1, cost 0), sink → candidate drivers (cap 1,
+// integer-exact costs per the warm-start contract), drivers → T (small
+// caps). BM_McmfSolveCold prices the cold path's per-round rebuild;
+// BM_McmfRepairWarm prices the warm path's per-round repair (a handful of
+// arcs knocked out, then resolve() reuses the surviving flow and
+// potentials).
+constexpr int kMcmfSinks = 256;
+constexpr int kMcmfDrivers = 300;
+constexpr int kMcmfCandidates = 8;
+
+struct McmfNet {
+  attack::MinCostFlow flow{2 + kMcmfSinks + kMcmfDrivers};
+  // The sink→driver arcs (id, cost) — the ones loop repair knocks out.
+  std::vector<std::pair<int, double>> sink_edges;
+  int s = 0;
+  int t = 1;
+};
+
+McmfNet mcmf_build() {
+  McmfNet net;
+  const auto sink_node = [](int si) { return 2 + si; };
+  const auto drv_node = [](int di) { return 2 + kMcmfSinks + di; };
+  util::Rng rng(23);
+  for (int si = 0; si < kMcmfSinks; ++si)
+    net.flow.add_edge(net.s, sink_node(si), 1, 0.0);
+  for (int di = 0; di < kMcmfDrivers; ++di)
+    net.flow.add_edge(drv_node(di), net.t,
+                      static_cast<int>(rng.range(1, 3)), 0.0);
+  for (int si = 0; si < kMcmfSinks; ++si)
+    for (int c = 0; c < kMcmfCandidates; ++c) {
+      const int di = static_cast<int>(rng.below(kMcmfDrivers));
+      const double cost =
+          static_cast<double>(rng.below(1u << 20)) * 268435456.0 +
+          static_cast<double>(rng.below(1u << 28));
+      net.sink_edges.emplace_back(
+          net.flow.add_edge(sink_node(si), drv_node(di), 1, cost), cost);
+    }
+  return net;
+}
+
+void BM_McmfSolveCold(benchmark::State& state) {
+  for (auto _ : state) {
+    auto net = mcmf_build();
+    net.flow.solve(net.s, net.t, kMcmfSinks);
+    benchmark::DoNotOptimize(net.flow.cost());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_McmfRepairWarm(benchmark::State& state) {
+  auto net = mcmf_build();
+  net.flow.solve(net.s, net.t, kMcmfSinks);
+  constexpr int kKnockout = 8;  // ~ one loop-repair round's removals
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    // Knock out a rolling window of candidate arcs (cap 0 keeps the edge
+    // ids alive, as the attack's loop repair does), repair, then restore
+    // and repair again so the steady state is iteration-invariant.
+    const std::size_t base = cursor;
+    cursor = (cursor + kKnockout) % net.sink_edges.size();
+    for (int k = 0; k < kKnockout; ++k) {
+      const auto& [id, cost] =
+          net.sink_edges[(base + static_cast<std::size_t>(k)) %
+                         net.sink_edges.size()];
+      net.flow.update_edge(id, 0, cost);
+    }
+    net.flow.resolve();
+    for (int k = 0; k < kKnockout; ++k) {
+      const auto& [id, cost] =
+          net.sink_edges[(base + static_cast<std::size_t>(k)) %
+                         net.sink_edges.size()];
+      net.flow.update_edge(id, 1, cost);
+    }
+    net.flow.resolve();
+    benchmark::DoNotOptimize(net.flow.cost());
+  }
+  state.SetItemsProcessed(state.iterations());
 }
 
 // Raw expanding-ring query throughput against a brute-force linear scan on
@@ -239,7 +358,9 @@ void BM_GridIndexKNearest(benchmark::State& state) {
 
 BENCHMARK(BM_Simulation64Patterns);
 BENCHMARK(BM_CompareOerHd);
+BENCHMARK(BM_CompareOerHdLanes)->Arg(1)->Arg(4)->Arg(8);
 BENCHMARK(BM_CompareThroughputJobs)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_CompareThroughputLanes)->Arg(1)->Arg(4)->Arg(8);
 BENCHMARK(BM_Randomize);
 BENCHMARK(BM_Place);
 BENCHMARK(BM_Route);
@@ -255,6 +376,9 @@ BENCHMARK(BM_RoutePartitionTreeJobs)
 BENCHMARK(BM_ProximityAttack);
 BENCHMARK(BM_AttackCandidatesBrute)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AttackCandidatesIndexed)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AttackCandidatesColdMcmf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_McmfSolveCold)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_McmfRepairWarm)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AttackCandidatesIndexedJobs)
     ->Arg(1)
     ->Arg(2)

@@ -28,6 +28,14 @@ matches this machine (same tier); if no entry has the field at all — old
 checkouts predate it — the check passes with a notice, so the script can
 ride in CI before the first baseline lands.
 
+The baseline may also be BENCH_micro.json. In that mode the fresh file is
+a google-benchmark JSON export (``--benchmark_out=... \
+--benchmark_out_format=json``) and every fresh rig that has a recorded
+``results_ms`` baseline (latest entry per rig name wins) is compared
+individually against factor x its baseline, using real (wall) time.
+Rigs without a baseline are skipped with a notice — new rigs ride through
+CI before their first BENCH_micro.json entry lands.
+
 Exit status: 0 pass, 1 regression, 2 usage/parse error.
 """
 
@@ -91,6 +99,100 @@ def fresh_wall_ms(path):
     return wall if isinstance(wall, (int, float)) and wall > 0 else None
 
 
+_TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def micro_baseline(entries):
+    """Latest recorded ms per rig name from BENCH_micro.json entries.
+
+    Every section of an entry whose value is a dict carrying a
+    ``results_ms`` dict contributes its rigs; later entries override
+    earlier ones, so each rig resolves to its most recent baseline (and
+    the PR that recorded it). Returns {} when the baseline file carries no
+    micro sections at all — the caller falls back to sweep mode."""
+    rigs = {}
+    if not isinstance(entries, list):
+        return rigs
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        for section in entry.values():
+            if not isinstance(section, dict):
+                continue
+            results = section.get("results_ms")
+            if not isinstance(results, dict):
+                continue
+            for name, ms in results.items():
+                if isinstance(ms, (int, float)) and ms > 0:
+                    rigs[name] = (float(ms), entry.get("pr", "?"))
+    return rigs
+
+
+def fresh_micro(path):
+    """{rig name: real-time ms} from a google-benchmark JSON export, or
+    None if `path` is not one. Median aggregates (from
+    --benchmark_repetitions) take precedence over raw iteration rows so a
+    repeated run compares its medians, matching how BENCH_micro.json
+    entries were recorded."""
+    try:
+        with open(path) as fh:
+            fresh = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(fresh, dict) or "benchmarks" not in fresh:
+        return None
+    rigs, medians = {}, {}
+    for row in fresh["benchmarks"]:
+        if not isinstance(row, dict):
+            continue
+        scale = _TIME_UNIT_TO_MS.get(row.get("time_unit"), 1e-6)
+        time_ms = row.get("real_time")
+        if not isinstance(time_ms, (int, float)):
+            continue
+        time_ms *= scale
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                medians[row.get("run_name")] = time_ms
+        else:
+            rigs.setdefault(row.get("name"), time_ms)
+    rigs.update(medians)
+    rigs.pop(None, None)
+    return rigs
+
+
+def check_micro(fresh_rigs, baseline_rigs, factor):
+    """Per-rig factor check; returns the exit status."""
+    if not baseline_rigs:
+        print("check_sweep_perf: no results_ms baselines recorded yet — "
+              "passing (record one in BENCH_micro.json)")
+        return 0
+    compared = regressions = 0
+    for name in sorted(fresh_rigs):
+        if name not in baseline_rigs:
+            print(f"check_sweep_perf: {name}: no baseline yet — skipping")
+            continue
+        base_ms, pr = baseline_rigs[name]
+        limit_ms = base_ms * factor
+        fresh_ms = fresh_rigs[name]
+        compared += 1
+        verdict = "ok"
+        if fresh_ms > limit_ms:
+            regressions += 1
+            verdict = "REGRESSION"
+        print(f"check_sweep_perf: {name}: fresh {fresh_ms:.3f} ms vs "
+              f"baseline {base_ms:.3f} ms (PR {pr}), limit {limit_ms:.3f} "
+              f"ms — {verdict}")
+    if regressions:
+        print(f"check_sweep_perf: {regressions} of {compared} rigs over "
+              f"{factor:g}x their recorded baseline", file=sys.stderr)
+        return 1
+    if not compared:
+        print("check_sweep_perf: no fresh rig matched a recorded baseline "
+              "— passing (check the --benchmark_filter against "
+              "BENCH_micro.json)")
+    return 0
+
+
 def pick_baseline(entries, host_threads):
     """Latest entry with quick_wall_ms, same-tier entries preferred."""
     if not isinstance(entries, list):
@@ -123,6 +225,11 @@ def main(argv):
     if len(paths) != 2:
         print(__doc__, file=sys.stderr)
         return 2
+
+    fresh_rigs = fresh_micro(paths[0])
+    if fresh_rigs is not None:
+        return check_micro(fresh_rigs, micro_baseline(load(paths[1])),
+                           factor)
 
     wall_ms = fresh_wall_ms(paths[0])
     if wall_ms is None:

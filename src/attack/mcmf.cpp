@@ -1,86 +1,445 @@
 #include "attack/mcmf.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 namespace sm::attack {
 
-MinCostFlow::MinCostFlow(int num_nodes) : graph_(static_cast<std::size_t>(num_nodes)) {}
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MinCostFlow::MinCostFlow(int num_nodes)
+    : adj_(static_cast<std::size_t>(num_nodes)),
+      pi_(static_cast<std::size_t>(num_nodes), 0.0),
+      excess_(static_cast<std::size_t>(num_nodes), 0),
+      dist_(static_cast<std::size_t>(num_nodes), kInf),
+      prev_arc_(static_cast<std::size_t>(num_nodes), -1),
+      scanned_(static_cast<std::size_t>(num_nodes), 0),
+      cur_arc_(static_cast<std::size_t>(num_nodes), 0),
+      on_path_(static_cast<std::size_t>(num_nodes), 0) {}
 
 int MinCostFlow::add_edge(int from, int to, int capacity, double cost) {
-  const int id = static_cast<int>(edge_ref_.size());
-  auto& fwd = graph_[static_cast<std::size_t>(from)];
-  auto& bwd = graph_[static_cast<std::size_t>(to)];
-  fwd.push_back({to, capacity, cost, static_cast<int>(bwd.size())});
-  bwd.push_back({from, 0, -cost, static_cast<int>(fwd.size()) - 1});
-  edge_ref_.emplace_back(from, static_cast<int>(fwd.size()) - 1);
+  const int id = static_cast<int>(arcs_.size() / 2);
+  arcs_.push_back({to, capacity, cost});
+  arcs_.push_back({from, 0, -cost});
+  adj_[static_cast<std::size_t>(from)].push_back(2 * id);
+  adj_[static_cast<std::size_t>(to)].push_back(2 * id + 1);
+  if (!solved_) {
+    if (cost < 0) has_negative_ = true;
+  } else if (capacity > 0 && reduced_cost(2 * id) < 0) {
+    // A post-solve edge already violating the potentials: saturate it now
+    // (the imbalance re-routes on the next resolve()), so every residual
+    // arc keeps a non-negative reduced cost.
+    saturate(2 * id);
+  }
   return id;
 }
 
 int MinCostFlow::flow_on(int id) const {
-  const auto [node, idx] = edge_ref_.at(static_cast<std::size_t>(id));
-  const Edge& e = graph_[static_cast<std::size_t>(node)][static_cast<std::size_t>(idx)];
-  // Residual of the reverse edge equals the pushed flow.
-  return graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)].cap;
+  // Residual of the reverse arc equals the pushed flow.
+  return arcs_[static_cast<std::size_t>(2 * id + 1)].cap;
+}
+
+double MinCostFlow::cost() const {
+  double total = 0;
+  for (std::size_t a = 0; a + 1 < arcs_.size(); a += 2)
+    total += static_cast<double>(arcs_[a + 1].cap) * arcs_[a].cost;
+  return total;
+}
+
+double MinCostFlow::reduced_cost(int arc) const {
+  const Arc& e = arcs_[static_cast<std::size_t>(arc)];
+  const int u = arcs_[static_cast<std::size_t>(arc ^ 1)].to;
+  return e.cost + pi_[static_cast<std::size_t>(u)] -
+         pi_[static_cast<std::size_t>(e.to)];
+}
+
+void MinCostFlow::saturate(int arc) {
+  Arc& e = arcs_[static_cast<std::size_t>(arc)];
+  const int u = arcs_[static_cast<std::size_t>(arc ^ 1)].to;
+  const int c = e.cap;
+  arcs_[static_cast<std::size_t>(arc ^ 1)].cap += c;
+  e.cap = 0;
+  excess_[static_cast<std::size_t>(e.to)] += c;
+  excess_[static_cast<std::size_t>(u)] -= c;
+}
+
+void MinCostFlow::bellman_ford_init() {
+  // Virtual super-source at distance 0 from every node — valid potentials
+  // for arbitrary (possibly disconnected) graphs with no negative cycle.
+  const std::size_t n = adj_.size();
+  std::vector<double>& dist = pi_;  // becomes the potential directly
+  std::fill(dist.begin(), dist.end(), 0.0);
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (std::size_t a = 0; a < arcs_.size(); ++a) {
+      const Arc& e = arcs_[a];
+      if (e.cap <= 0) continue;
+      const int u = arcs_[a ^ 1].to;
+      const double nd = dist[static_cast<std::size_t>(u)] + e.cost;
+      if (nd < dist[static_cast<std::size_t>(e.to)]) {
+        dist[static_cast<std::size_t>(e.to)] = nd;
+        changed = true;
+      }
+    }
+    if (!changed) return;
+  }
+  throw std::logic_error("MinCostFlow: negative-cost cycle");
+}
+
+template <class IsTarget>
+int MinCostFlow::dijkstra(const int* sources, int num_sources,
+                          IsTarget is_target, bool update_pi) {
+  // Reset only what the previous search touched.
+  for (const int v : touched_) {
+    dist_[static_cast<std::size_t>(v)] = kInf;
+    prev_arc_[static_cast<std::size_t>(v)] = -1;
+    scanned_[static_cast<std::size_t>(v)] = 0;
+  }
+  touched_.clear();
+  heap_.clear();
+
+  // 4-ary min-heap over (dist, node): pair comparison breaks distance ties
+  // toward the lower node index — the pinned cold==warm tie-break.
+  const auto sift_up = [&](std::size_t i) {
+    const auto item = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!(item < heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = item;
+  };
+  const auto sift_down = [&](std::size_t i) {
+    const auto item = heap_[i];
+    const std::size_t size = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= size) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + 4, size);
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (heap_[c] < heap_[best]) best = c;
+      if (!(heap_[best] < item)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = item;
+  };
+  const auto push = [&](double d, int v) {
+    heap_.emplace_back(d, v);
+    sift_up(heap_.size() - 1);
+  };
+
+  for (int i = 0; i < num_sources; ++i) {
+    const int s = sources[i];
+    dist_[static_cast<std::size_t>(s)] = 0.0;
+    touched_.push_back(s);
+    push(0.0, s);
+  }
+
+  int found = -1;
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    const auto su = static_cast<std::size_t>(u);
+    if (scanned_[su] || d != dist_[su]) continue;  // stale heap entry
+    scanned_[su] = 1;
+    if (is_target(u)) {
+      found = u;
+      break;
+    }
+    for (const int a : adj_[su]) {
+      const Arc& e = arcs_[static_cast<std::size_t>(a)];
+      if (e.cap <= 0) continue;
+      const auto sv = static_cast<std::size_t>(e.to);
+      if (scanned_[sv]) continue;
+      // Clamp: the potentials keep reduced costs >= 0 exactly in exact
+      // arithmetic; floating-point pi updates can leave a -1e-16 residue
+      // that would break Dijkstra's scanned-is-final property.
+      const double rc = std::max(0.0, e.cost + pi_[su] - pi_[sv]);
+      const double nd = d + rc;
+      if (nd < dist_[sv]) {
+        if (dist_[sv] == kInf) touched_.push_back(e.to);
+        dist_[sv] = nd;
+        prev_arc_[sv] = a;
+        push(nd, e.to);
+      }
+    }
+  }
+  if (found < 0) return -1;
+  if (update_pi) apply_potentials(found);
+  return found;
+}
+
+void MinCostFlow::apply_potentials(int target) {
+  // Shifted Johnson update: pi[v] += dist[v] - D for scanned nodes only.
+  // It differs from the classic capped rule by a uniform -D on every node,
+  // which cancels in every reduced cost — and costs O(scanned), not O(n).
+  const double target_dist = dist_[static_cast<std::size_t>(target)];
+  for (const int v : touched_) {
+    const auto sv = static_cast<std::size_t>(v);
+    if (scanned_[sv]) pi_[sv] += dist_[sv] - target_dist;
+  }
+}
+
+int MinCostFlow::blocking_flow(int budget) {
+  // Saturate every s->t path of the just-computed shortest length before
+  // the potentials move. Admissible arcs are the ones Dijkstra's own
+  // arithmetic would re-derive bit-for-bit (dist[u] + rc == dist[v] with
+  // both endpoints scanned) — a sub-DAG of the true shortest-path DAG that
+  // always contains the predecessor tree, so at least the tree path
+  // augments; anything the bitwise test misses is picked up by the next
+  // Dijkstra phase at the same distance. DFS with current-arc pointers
+  // (Dinic): each retreat permanently advances a pointer, each augment
+  // saturates an arc, so the walk is O(arcs + path lengths). on_path_
+  // guards the zero-reduced-cost two-cycles a residual graph is full of.
+  for (const int v : touched_) {
+    cur_arc_[static_cast<std::size_t>(v)] = 0;
+    on_path_[static_cast<std::size_t>(v)] = 0;
+  }
+  int total = 0;
+  path_.clear();
+  int u = s_;
+  on_path_[static_cast<std::size_t>(s_)] = 1;
+  while (total < budget) {
+    const auto su = static_cast<std::size_t>(u);
+    const auto& alist = adj_[su];
+    int& ci = cur_arc_[su];
+    bool advanced = false;
+    while (ci < static_cast<int>(alist.size())) {
+      const int a = alist[static_cast<std::size_t>(ci)];
+      const Arc& e = arcs_[static_cast<std::size_t>(a)];
+      const auto sv = static_cast<std::size_t>(e.to);
+      if (e.cap > 0 && scanned_[sv] && !on_path_[sv]) {
+        const double rc = std::max(0.0, e.cost + pi_[su] - pi_[sv]);
+        if (dist_[su] + rc == dist_[sv]) {
+          path_.push_back(a);
+          on_path_[sv] = 1;
+          u = e.to;
+          advanced = true;
+          break;
+        }
+      }
+      ++ci;
+    }
+    if (advanced) {
+      if (u != t_) continue;
+      int push = budget - total;
+      for (const int a : path_)
+        push = std::min(push, arcs_[static_cast<std::size_t>(a)].cap);
+      for (const int a : path_) {
+        arcs_[static_cast<std::size_t>(a)].cap -= push;
+        arcs_[static_cast<std::size_t>(a ^ 1)].cap += push;
+        on_path_[static_cast<std::size_t>(
+            arcs_[static_cast<std::size_t>(a)].to)] = 0;
+      }
+      total += push;
+      path_.clear();
+      u = s_;
+      continue;
+    }
+    if (u == s_) break;  // source exhausted: no admissible path remains
+    on_path_[su] = 0;
+    const int a = path_.back();
+    path_.pop_back();
+    u = arcs_[static_cast<std::size_t>(a ^ 1)].to;
+    ++cur_arc_[static_cast<std::size_t>(u)];  // skip the dead branch
+  }
+  on_path_[static_cast<std::size_t>(s_)] = 0;
+  return total;
+}
+
+int MinCostFlow::augment(int target, int limit) {
+  if (limit <= 0 || prev_arc_[static_cast<std::size_t>(target)] < 0) return 0;
+  int push = limit;
+  for (int a = prev_arc_[static_cast<std::size_t>(target)]; a >= 0;
+       a = prev_arc_[static_cast<std::size_t>(arcs_[static_cast<std::size_t>(a ^ 1)].to)])
+    push = std::min(push, arcs_[static_cast<std::size_t>(a)].cap);
+  for (int a = prev_arc_[static_cast<std::size_t>(target)]; a >= 0;
+       a = prev_arc_[static_cast<std::size_t>(arcs_[static_cast<std::size_t>(a ^ 1)].to)]) {
+    arcs_[static_cast<std::size_t>(a)].cap -= push;
+    arcs_[static_cast<std::size_t>(a ^ 1)].cap += push;
+  }
+  return push;
+}
+
+void MinCostFlow::normalize_terminals() {
+  // Terminals may carry any net flow: an s imbalance just changes how much
+  // the source emits, and a t imbalance is by definition a delivered-flow
+  // change.
+  excess_[static_cast<std::size_t>(s_)] = 0;
+  flow_ += static_cast<int>(excess_[static_cast<std::size_t>(t_)]);
+  excess_[static_cast<std::size_t>(t_)] = 0;
+}
+
+void MinCostFlow::repair_and_augment() {
+  normalize_terminals();
+  const int n = static_cast<int>(adj_.size());
+
+  // 1) Route non-terminal excesses (ascending node order — part of the
+  //    pinned determinism) to the nearest deficit, or t when under target,
+  //    or back toward s as the absorber of last resort.
+  const auto drain_excess = [&](int u) {
+    while (excess_[static_cast<std::size_t>(u)] > 0) {
+      const bool room = flow_ < target_;
+      const auto allowed = [&](int v) {
+        if (v == s_) return true;
+        if (v == t_) return room;
+        return excess_[static_cast<std::size_t>(v)] < 0;
+      };
+      int tgt = dijkstra(&u, 1, allowed);
+      if (tgt < 0) {
+        // Over-target t is still a valid absorber; the trim phase pushes
+        // the overshoot back when a t->s residual path exists.
+        const auto any = [&](int v) {
+          return v == s_ || v == t_ ||
+                 excess_[static_cast<std::size_t>(v)] < 0;
+        };
+        tgt = dijkstra(&u, 1, any);
+        if (tgt < 0)
+          throw std::logic_error("MinCostFlow: unroutable imbalance");
+      }
+      long long limit = excess_[static_cast<std::size_t>(u)];
+      if (tgt == t_ && room)
+        limit = std::min<long long>(limit, target_ - flow_);
+      else if (tgt != s_ && tgt != t_)
+        limit = std::min(limit, -excess_[static_cast<std::size_t>(tgt)]);
+      const int pushed = augment(tgt, static_cast<int>(limit));
+      if (pushed <= 0)
+        throw std::logic_error("MinCostFlow: stalled imbalance repair");
+      excess_[static_cast<std::size_t>(u)] -= pushed;
+      if (tgt == t_)
+        flow_ += pushed;
+      else if (tgt != s_)
+        excess_[static_cast<std::size_t>(tgt)] += pushed;
+    }
+  };
+  for (int u = 0; u < n; ++u)
+    if (u != s_ && u != t_) drain_excess(u);
+
+  // 2) Fill the remaining deficits from whichever terminal is nearer in
+  //    reduced cost: s supplies fresh flow, t cancels delivered flow.
+  for (int v = 0; v < n; ++v) {
+    if (v == s_ || v == t_) continue;
+    while (excess_[static_cast<std::size_t>(v)] < 0) {
+      const int sources[2] = {std::min(s_, t_), std::max(s_, t_)};
+      const int tgt = dijkstra(sources, 2, [&](int x) { return x == v; });
+      if (tgt < 0) throw std::logic_error("MinCostFlow: unroutable deficit");
+      // The path's origin decides the flow accounting.
+      int origin = v;
+      while (prev_arc_[static_cast<std::size_t>(origin)] >= 0)
+        origin = arcs_[static_cast<std::size_t>(
+                           prev_arc_[static_cast<std::size_t>(origin)] ^ 1)]
+                     .to;
+      const int pushed = augment(
+          v, static_cast<int>(-excess_[static_cast<std::size_t>(v)]));
+      if (pushed <= 0)
+        throw std::logic_error("MinCostFlow: stalled deficit repair");
+      excess_[static_cast<std::size_t>(v)] += pushed;
+      if (origin == t_) flow_ -= pushed;
+    }
+  }
+
+  // 3) Trim overshoot (updates can force flow above the target).
+  while (flow_ > target_) {
+    if (dijkstra(&t_, 1, [&](int x) { return x == s_; }) < 0) break;
+    const int pushed = augment(s_, flow_ - target_);
+    if (pushed <= 0) break;
+    flow_ -= pushed;
+  }
+
+  // 4) Augment toward the target, one *distance class* at a time: Dijkstra
+  //    finds the current shortest s->t length (potentials deferred), a
+  //    blocking flow saturates every admissible path of that length at
+  //    once, then the potentials catch up. With tie-rich costs this is the
+  //    Hopcroft-Karp phase structure (one Dijkstra routes many units); the
+  //    attack's integer-exact salted costs make every path length unique,
+  //    so each phase typically routes one unit — the win there is that the
+  //    warm potentials keep each Dijkstra confined to a small frontier
+  //    instead of rescanning the whole graph like SPFA did.
+  while (flow_ < target_) {
+    if (dijkstra(&s_, 1, [&](int x) { return x == t_; },
+                 /*update_pi=*/false) < 0)
+      break;
+    const int pushed = blocking_flow(target_ - flow_);
+    apply_potentials(t_);
+    if (pushed <= 0) break;  // defensive: the tree path always admits one
+    flow_ += pushed;
+  }
 }
 
 std::pair<int, double> MinCostFlow::solve(int s, int t, int max_flow) {
-  const int n = static_cast<int>(graph_.size());
-  int flow = 0;
-  double cost = 0;
-  while (flow < max_flow) {
-    // SPFA shortest path on residual graph (costs may be negative on
-    // residual arcs; SPFA handles that without potentials).
-    std::vector<double> dist(static_cast<std::size_t>(n),
-                             std::numeric_limits<double>::infinity());
-    std::vector<int> prev_node(static_cast<std::size_t>(n), -1);
-    std::vector<int> prev_edge(static_cast<std::size_t>(n), -1);
-    std::vector<bool> in_queue(static_cast<std::size_t>(n), false);
-    std::deque<int> queue;
-    dist[static_cast<std::size_t>(s)] = 0;
-    queue.push_back(s);
-    in_queue[static_cast<std::size_t>(s)] = true;
-    while (!queue.empty()) {
-      const int u = queue.front();
-      queue.pop_front();
-      in_queue[static_cast<std::size_t>(u)] = false;
-      for (std::size_t i = 0; i < graph_[static_cast<std::size_t>(u)].size(); ++i) {
-        const Edge& e = graph_[static_cast<std::size_t>(u)][i];
-        if (e.cap <= 0) continue;
-        const double nd = dist[static_cast<std::size_t>(u)] + e.cost;
-        if (nd + 1e-12 < dist[static_cast<std::size_t>(e.to)]) {
-          dist[static_cast<std::size_t>(e.to)] = nd;
-          prev_node[static_cast<std::size_t>(e.to)] = u;
-          prev_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(i);
-          if (!in_queue[static_cast<std::size_t>(e.to)]) {
-            in_queue[static_cast<std::size_t>(e.to)] = true;
-            queue.push_back(e.to);
-          }
-        }
-      }
-    }
-    if (prev_node[static_cast<std::size_t>(t)] < 0) break;  // no augmenting path
-    // Bottleneck along the path.
-    int push = max_flow - flow;
-    for (int v = t; v != s;) {
-      const int u = prev_node[static_cast<std::size_t>(v)];
-      const Edge& e = graph_[static_cast<std::size_t>(u)]
-                            [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)])];
-      push = std::min(push, e.cap);
-      v = u;
-    }
-    for (int v = t; v != s;) {
-      const int u = prev_node[static_cast<std::size_t>(v)];
-      Edge& e = graph_[static_cast<std::size_t>(u)]
-                      [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(v)])];
-      e.cap -= push;
-      graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)].cap += push;
-      v = u;
-    }
-    flow += push;
-    cost += dist[static_cast<std::size_t>(t)] * push;
+  if (s == t) throw std::invalid_argument("MinCostFlow: s == t");
+  if (!solved_) {
+    s_ = s;
+    t_ = t;
+    if (has_negative_) bellman_ford_init();
+    solved_ = true;
+  } else if (s != s_ || t != t_) {
+    throw std::logic_error(
+        "MinCostFlow: terminals are fixed after the first solve");
   }
-  return {flow, cost};
+  const long long want = static_cast<long long>(target_) + max_flow;
+  target_ = static_cast<int>(
+      std::min<long long>(want, std::numeric_limits<int>::max()));
+  repair_and_augment();
+  return {flow_, cost()};
+}
+
+void MinCostFlow::remove_edge(int id) {
+  update_edge(id, 0, arcs_[static_cast<std::size_t>(2 * id)].cost);
+}
+
+void MinCostFlow::update_edge(int id, int capacity, double cost) {
+  if (capacity < 0)
+    throw std::invalid_argument("MinCostFlow: negative capacity");
+  Arc& f = arcs_[static_cast<std::size_t>(2 * id)];
+  Arc& r = arcs_[static_cast<std::size_t>(2 * id + 1)];
+  const int u = r.to;
+  const int v = f.to;
+  f.cost = cost;
+  r.cost = -cost;
+  if (!solved_) {
+    f.cap = capacity;
+    if (cost < 0) has_negative_ = true;
+    return;
+  }
+  const int flow = r.cap;
+  if (capacity < flow) {
+    // The overhang stops flowing here and now: the tail keeps receiving
+    // it (excess) and the head keeps forwarding it (deficit) until the
+    // next resolve() re-routes both.
+    const int df = flow - capacity;
+    r.cap = capacity;
+    f.cap = 0;
+    excess_[static_cast<std::size_t>(u)] += df;
+    excess_[static_cast<std::size_t>(v)] -= df;
+  } else {
+    f.cap = capacity - flow;
+  }
+  // Keep the potentials invariant (every residual arc has reduced cost
+  // >= 0) across the cost change: a now-negative forward arc saturates, a
+  // now-positive arc still carrying flow drains. Either way the imbalance
+  // is re-routed optimally by resolve().
+  const double rc = f.cost + pi_[static_cast<std::size_t>(u)] -
+                    pi_[static_cast<std::size_t>(v)];
+  if (f.cap > 0 && rc < 0)
+    saturate(2 * id);
+  else if (r.cap > 0 && rc > 0)
+    saturate(2 * id + 1);
+}
+
+std::pair<int, double> MinCostFlow::resolve() {
+  if (!solved_)
+    throw std::logic_error("MinCostFlow: resolve() before solve()");
+  repair_and_augment();
+  return {flow_, cost()};
 }
 
 }  // namespace sm::attack

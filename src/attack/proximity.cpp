@@ -3,10 +3,13 @@
 #include "attack/mcmf.hpp"
 #include "netlist/topo.hpp"
 #include "util/grid_index.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -39,6 +42,15 @@ class Hypothesis {
   }
 
   void add_edge(CellId from, CellId to) { adj_[from].push_back(to); }
+
+  /// Undo one earlier add_edge(from, to) — the latest matching occurrence
+  /// (duplicates are legitimate: two sink fragments may pull the same
+  /// driver->cell pair). The caller guarantees the edge exists.
+  void remove_edge(CellId from, CellId to) {
+    auto& v = adj_[from];
+    const auto it = std::find(v.rbegin(), v.rend(), to);
+    v.erase(std::next(it).base());
+  }
 
   /// Would from->to close a combinational cycle? (from reachable from to)
   bool would_loop(CellId from, CellId to) const {
@@ -407,18 +419,32 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
     };
     std::vector<EdgeRef> refs;
     for (std::size_t si = 0; si < ns; ++si)
-      for (const auto& c : per_sink[si])
-        refs.push_back({flow.add_edge(sink_node(si), drv_node(c.di), 1, c.cost),
-                        si, c.di, c.cost});
+      for (const auto& c : per_sink[si]) {
+        // Integer-exact edge cost (the MCMF warm-start contract,
+        // ARCHITECTURE.md): the geometric cost quantized to 1/64 um in
+        // the high bits, 28 pseudorandom per-edge bits in the low bits.
+        // Every value the solver then forms — costs, potentials, path
+        // sums — is an integer below 2^53, so double arithmetic is EXACT
+        // and the cold and warm solver paths make identical comparisons;
+        // and by the isolation lemma the random low bits make the
+        // min-cost assignment UNIQUE (w.p. 1 - edges/2^28) — equal-cost
+        // optima are exactly where the two paths could legitimately land
+        // on different (equally good) assignments, and the attack
+        // promises they never do. The quantization (0.016 um) and the
+        // tie-break (1/64-um ulp) are both far below any real geometric
+        // preference.
+        const double base =
+            std::min(std::round(c.cost * 64.0), 4194304.0 /* 2^22 */);
+        std::uint64_t state =
+            0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(refs.size()) + 1);
+        const double tie =
+            static_cast<double>(util::splitmix64(state) >> 36);  // 28 bits
+        const double cost = base * 268435456.0 /* 2^28 */ + tie;
+        refs.push_back(
+            {flow.add_edge(sink_node(si), drv_node(c.di), 1, cost), si,
+             c.di, cost});
+      }
     flow.solve(S, T, static_cast<int>(ns));
-    // Extract the assignment, then commit in cost order with loop repair.
-    std::vector<EdgeRef> chosen;
-    for (const auto& r : refs)
-      if (flow.flow_on(r.edge) > 0) chosen.push_back(r);
-    std::stable_sort(chosen.begin(), chosen.end(),
-                     [](const EdgeRef& a, const EdgeRef& b) {
-                       return a.cost < b.cost;
-                     });
     auto commit = [&](std::size_t si, std::size_t di) {
       assigned[si] = di;
       const CellId drv =
@@ -435,10 +461,98 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
         if (hyp.would_loop(drv, s.cell)) return true;
       return false;
     };
-    for (const auto& r : chosen) {
-      if (creates_loop(r.si, r.di)) continue;  // repaired below
-      commit(r.si, r.di);
+    // Loop repair through the solver itself: commit the flow's assignment
+    // in ascending (cost, si, di) order; edges that would close a
+    // combinational cycle are removed from the network and the flow
+    // re-solved — warm by default (only the removed arcs' imbalances
+    // re-route, the potentials carry over), or as a cold rebuild of the
+    // reduced network when opts.mcmf_warm is off. The perturbed costs
+    // make every round's optimum unique, so both paths walk identical
+    // rounds and land on the identical assignment (rig-enforced in
+    // tests/test_attack.cpp). Rounds are INCREMENTAL: commitments whose
+    // assignment the flow kept stay in the hypothesis untouched; only
+    // sinks the re-solve moved get uncommitted, re-checked and
+    // re-committed — so a round costs O(displaced) loop checks, not
+    // O(sinks). Each non-final round removes at least one edge, so the
+    // loop terminates.
+    std::vector<char> removed(refs.size(), 0);
+    std::vector<std::size_t> chosen;
+    std::vector<std::size_t> current(ns, static_cast<std::size_t>(-1));
+    for (;;) {
+      chosen.clear();
+      for (std::size_t i = 0; i < refs.size(); ++i)
+        if (!removed[i] && flow.flow_on(refs[i].edge) > 0)
+          chosen.push_back(i);
+      std::sort(chosen.begin(), chosen.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const EdgeRef& x = refs[a];
+                  const EdgeRef& y = refs[b];
+                  if (x.cost != y.cost) return x.cost < y.cost;
+                  if (x.si != y.si) return x.si < y.si;
+                  return x.di < y.di;
+                });
+      std::fill(current.begin(), current.end(),
+                static_cast<std::size_t>(-1));
+      for (const std::size_t i : chosen) current[refs[i].si] = refs[i].di;
+      // Uncommit the sinks the re-solve moved (or dropped); survivors keep
+      // their hypothesis edges so the loop checks below run against
+      // exactly the standing commitments.
+      for (std::size_t si = 0; si < ns; ++si) {
+        if (assigned[si] == static_cast<std::size_t>(-1) ||
+            assigned[si] == current[si])
+          continue;
+        const CellId drv =
+            feol.net(view.fragments[drv_frag_ids[assigned[si]]].net).driver;
+        for (const auto& s : view.fragments[snk_frag_ids[si]].sinks)
+          hyp.remove_edge(drv, s.cell);
+        assigned[si] = static_cast<std::size_t>(-1);
+      }
+      std::vector<std::size_t> bad;
+      for (const std::size_t i : chosen) {
+        const EdgeRef& r = refs[i];
+        if (assigned[r.si] == r.di) continue;  // kept from an earlier round
+        if (creates_loop(r.si, r.di)) {
+          bad.push_back(i);
+          continue;
+        }
+        assigned[r.si] = r.di;
+        const CellId drv =
+            feol.net(view.fragments[drv_frag_ids[r.di]].net).driver;
+        for (const auto& s : view.fragments[snk_frag_ids[r.si]].sinks)
+          hyp.add_edge(drv, s.cell);
+      }
+      if (getenv("SM_MCMF_DEBUG")) {
+        std::uint64_t h = 1469598103934665603ull;
+        for (const std::size_t i : chosen) {
+          h = (h ^ refs[i].si) * 1099511628211ull;
+          h = (h ^ refs[i].di) * 1099511628211ull;
+        }
+        fprintf(stderr,
+                "round: chosen=%zu bad=%zu flow=%d cost=%.15f hash=%016llx\n",
+                chosen.size(), bad.size(), flow.flow(), flow.cost(),
+                static_cast<unsigned long long>(h));
+      }
+      if (bad.empty()) break;  // commits stand
+      for (const std::size_t i : bad) removed[i] = 1;
+      if (opts.mcmf_warm) {
+        for (const std::size_t i : bad) flow.remove_edge(refs[i].edge);
+        flow.resolve();
+      } else {
+        flow = MinCostFlow(2 + static_cast<int>(ns + nd));
+        for (std::size_t si = 0; si < ns; ++si)
+          flow.add_edge(S, sink_node(si), 1, 0);
+        for (std::size_t di = 0; di < nd; ++di)
+          flow.add_edge(drv_node(di), T, drv_capacity[di], 0);
+        for (std::size_t i = 0; i < refs.size(); ++i)
+          if (!removed[i])
+            refs[i].edge = flow.add_edge(sink_node(refs[i].si),
+                                         drv_node(refs[i].di), 1,
+                                         refs[i].cost);
+        flow.solve(S, T, static_cast<int>(ns));
+      }
     }
+    for (std::size_t si = 0; si < ns; ++si)
+      if (assigned[si] != static_cast<std::size_t>(-1)) ++result.matched;
     // Loop/completion repair, stage 1: walk each unassigned sink's cached
     // candidate list — it already holds the k cheapest drivers in commit
     // order, so no pair_cost is recomputed here.
@@ -515,7 +629,7 @@ ProximityResult proximity_attack(const Netlist& feol, const Netlist& original,
   recovered.validate();
   if (netlist::is_acyclic(recovered)) {
     result.rates = sim::compare(original, recovered, opts.eval_patterns,
-                                opts.seed, opts.jobs);
+                                opts.seed, opts.jobs, opts.sim_lanes);
   } else {
     // Should not happen with loop checks on; report total failure honestly.
     result.rates.oer = 1.0;

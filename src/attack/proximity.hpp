@@ -82,6 +82,16 @@ struct ProximityOptions {
   /// sweeps); the SAT-equivalence attacker turns it on to feed
   /// core::check_equivalence.
   bool keep_recovered = false;
+  /// Warm-start the min-cost-flow solver across loop-repair rounds (the
+  /// removed edges' imbalances re-route against the carried-over
+  /// potentials). Off forces a cold rebuild of the reduced network per
+  /// round — same assignment, strictly more work; kept as the equality
+  /// oracle for the cold==warm rig tests.
+  bool mcmf_warm = true;
+  /// SIMD lane width (uint64 words evaluated together) for the OER/HD
+  /// simulation: 1, 4, or 8; 0 picks sim::kDefaultSimLanes. Results are
+  /// byte-identical for every value.
+  std::size_t sim_lanes = 0;
 };
 
 struct ProximityResult {

@@ -3,6 +3,7 @@
 #include "netlist/topo.hpp"
 #include "util/thread_pool.hpp"
 
+#include <array>
 #include <bit>
 #include <mutex>
 #include <stdexcept>
@@ -47,65 +48,134 @@ Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
 
 void Simulator::eval(const std::vector<std::uint64_t>& source_words,
                      std::vector<std::uint64_t>& observer_words) const {
-  eval(source_words, observer_words, values_);
+  eval_lanes<1>(source_words, observer_words, values_);
 }
 
 void Simulator::eval(const std::vector<std::uint64_t>& source_words,
                      std::vector<std::uint64_t>& observer_words,
                      std::vector<std::uint64_t>& values) const {
-  if (source_words.size() != sources_.size())
-    throw std::invalid_argument("Simulator::eval: source word count mismatch");
-  if (values.size() != nl_->num_nets()) values.assign(nl_->num_nets(), 0);
-  for (std::size_t i = 0; i < sources_.size(); ++i)
-    values[sources_[i]] = source_words[i];
+  eval_lanes<1>(source_words, observer_words, values);
+}
 
+template <std::size_t W>
+void Simulator::eval_lanes(const std::vector<std::uint64_t>& source_words,
+                           std::vector<std::uint64_t>& observer_words,
+                           std::vector<std::uint64_t>& values) const {
+  if (source_words.size() != sources_.size() * W)
+    throw std::invalid_argument("Simulator::eval: source word count mismatch");
+  if (values.size() != nl_->num_nets() * W)
+    values.assign(nl_->num_nets() * W, 0);
+  for (std::size_t i = 0; i < sources_.size(); ++i)
+    for (std::size_t j = 0; j < W; ++j)
+      values[sources_[i] * W + j] = source_words[i * W + j];
+
+  // Each gate reads/writes W contiguous words; the fixed-trip j-loops below
+  // compile to straight-line vector code for W = 4/8.
+  const auto in = [&](const Cell& c, std::size_t k) {
+    return &values[static_cast<std::size_t>(c.inputs[k]) * W];
+  };
   for (const CellId id : order_) {
     const Cell& c = nl_->cell(id);
     const LogicFn fn = nl_->type_of(id).fn;
-    std::uint64_t v = 0;
+    std::uint64_t v[W] = {};
     switch (fn) {
-      case LogicFn::Const0: v = 0; break;
-      case LogicFn::Const1: v = ~0ULL; break;
-      case LogicFn::Buf: v = values[c.inputs[0]]; break;
-      case LogicFn::Inv: v = ~values[c.inputs[0]]; break;
+      case LogicFn::Const0:
+        for (std::size_t j = 0; j < W; ++j) v[j] = 0;
+        break;
+      case LogicFn::Const1:
+        for (std::size_t j = 0; j < W; ++j) v[j] = ~0ULL;
+        break;
+      case LogicFn::Buf: {
+        const std::uint64_t* a = in(c, 0);
+        for (std::size_t j = 0; j < W; ++j) v[j] = a[j];
+        break;
+      }
+      case LogicFn::Inv: {
+        const std::uint64_t* a = in(c, 0);
+        for (std::size_t j = 0; j < W; ++j) v[j] = ~a[j];
+        break;
+      }
       case LogicFn::And:
       case LogicFn::Nand: {
-        v = ~0ULL;
-        for (const NetId in : c.inputs) v &= values[in];
-        if (fn == LogicFn::Nand) v = ~v;
+        for (std::size_t j = 0; j < W; ++j) v[j] = ~0ULL;
+        for (const NetId net : c.inputs) {
+          const std::uint64_t* a = &values[static_cast<std::size_t>(net) * W];
+          for (std::size_t j = 0; j < W; ++j) v[j] &= a[j];
+        }
+        if (fn == LogicFn::Nand)
+          for (std::size_t j = 0; j < W; ++j) v[j] = ~v[j];
         break;
       }
       case LogicFn::Or:
       case LogicFn::Nor: {
-        v = 0;
-        for (const NetId in : c.inputs) v |= values[in];
-        if (fn == LogicFn::Nor) v = ~v;
+        for (std::size_t j = 0; j < W; ++j) v[j] = 0;
+        for (const NetId net : c.inputs) {
+          const std::uint64_t* a = &values[static_cast<std::size_t>(net) * W];
+          for (std::size_t j = 0; j < W; ++j) v[j] |= a[j];
+        }
+        if (fn == LogicFn::Nor)
+          for (std::size_t j = 0; j < W; ++j) v[j] = ~v[j];
         break;
       }
-      case LogicFn::Xor: v = values[c.inputs[0]] ^ values[c.inputs[1]]; break;
-      case LogicFn::Xnor: v = ~(values[c.inputs[0]] ^ values[c.inputs[1]]); break;
-      case LogicFn::Aoi21:
-        v = ~((values[c.inputs[0]] & values[c.inputs[1]]) | values[c.inputs[2]]);
+      case LogicFn::Xor: {
+        const std::uint64_t* a = in(c, 0);
+        const std::uint64_t* b = in(c, 1);
+        for (std::size_t j = 0; j < W; ++j) v[j] = a[j] ^ b[j];
         break;
-      case LogicFn::Oai21:
-        v = ~((values[c.inputs[0]] | values[c.inputs[1]]) & values[c.inputs[2]]);
+      }
+      case LogicFn::Xnor: {
+        const std::uint64_t* a = in(c, 0);
+        const std::uint64_t* b = in(c, 1);
+        for (std::size_t j = 0; j < W; ++j) v[j] = ~(a[j] ^ b[j]);
         break;
+      }
+      case LogicFn::Aoi21: {
+        const std::uint64_t* a = in(c, 0);
+        const std::uint64_t* b = in(c, 1);
+        const std::uint64_t* s = in(c, 2);
+        for (std::size_t j = 0; j < W; ++j) v[j] = ~((a[j] & b[j]) | s[j]);
+        break;
+      }
+      case LogicFn::Oai21: {
+        const std::uint64_t* a = in(c, 0);
+        const std::uint64_t* b = in(c, 1);
+        const std::uint64_t* s = in(c, 2);
+        for (std::size_t j = 0; j < W; ++j) v[j] = ~((a[j] | b[j]) & s[j]);
+        break;
+      }
       case LogicFn::Mux2: {
-        const std::uint64_t s = values[c.inputs[2]];
-        v = (values[c.inputs[0]] & ~s) | (values[c.inputs[1]] & s);
+        const std::uint64_t* a = in(c, 0);
+        const std::uint64_t* b = in(c, 1);
+        const std::uint64_t* s = in(c, 2);
+        for (std::size_t j = 0; j < W; ++j)
+          v[j] = (a[j] & ~s[j]) | (b[j] & s[j]);
         break;
       }
       case LogicFn::Dff:
       case LogicFn::Port:
         continue;  // not combinational; handled via sources/observers
     }
-    if (c.output != kInvalidNet) values[c.output] = v;
+    if (c.output != kInvalidNet) {
+      std::uint64_t* o = &values[static_cast<std::size_t>(c.output) * W];
+      for (std::size_t j = 0; j < W; ++j) o[j] = v[j];
+    }
   }
 
-  observer_words.resize(observers_.size());
+  observer_words.resize(observers_.size() * W);
   for (std::size_t i = 0; i < observers_.size(); ++i)
-    observer_words[i] = values[observers_[i]];
+    for (std::size_t j = 0; j < W; ++j)
+      observer_words[i * W + j] = values[observers_[i] * W + j];
 }
+
+template void Simulator::eval_lanes<1>(const std::vector<std::uint64_t>&,
+                                       std::vector<std::uint64_t>&,
+                                       std::vector<std::uint64_t>&) const;
+template void Simulator::eval_lanes<4>(const std::vector<std::uint64_t>&,
+                                       std::vector<std::uint64_t>&,
+                                       std::vector<std::uint64_t>&) const;
+template void Simulator::eval_lanes<8>(const std::vector<std::uint64_t>&,
+                                       std::vector<std::uint64_t>&,
+                                       std::vector<std::uint64_t>&) const;
 
 namespace {
 
@@ -113,33 +183,52 @@ std::size_t words_for(std::size_t patterns) { return (patterns + 63) / 64; }
 
 constexpr std::size_t kWordsPerBlock = kPatternsPerBlock / 64;
 static_assert(kPatternsPerBlock % 64 == 0);
+// Every supported lane width tiles a block exactly, so lane groups never
+// straddle a block (= RNG stream) boundary.
+static_assert(kWordsPerBlock % kDefaultSimLanes == 0);
 
 std::size_t blocks_for(std::size_t patterns) {
   return (words_for(patterns) + kWordsPerBlock - 1) / kWordsPerBlock;
 }
 
-/// Drive `fn(word_index, stimulus, mask)` for every pattern word of block
-/// `b`, with the block's own task_seed RNG stream. The (block, word) ->
-/// stimulus mapping is independent of the worker count.
-template <class Fn>
-void run_block(std::size_t b, std::size_t patterns, std::uint64_t seed,
-               std::vector<std::uint64_t>& src, Fn&& fn) {
+/// Drive `fn(batch_total, masks)` for every W-word lane group of block `b`,
+/// with the block's own task_seed RNG stream. The stream is drawn word-major
+/// then source-major — exactly the order the scalar path consumed it — so
+/// the (block, word) -> stimulus mapping is byte-identical for every lane
+/// width (and independent of the worker count). Tail lanes past the last
+/// pattern word are zero-filled without consuming RNG draws and masked out.
+template <std::size_t W, class Fn>
+void run_block_lanes(std::size_t b, std::size_t patterns, std::uint64_t seed,
+                     std::vector<std::uint64_t>& src, std::size_t num_sources,
+                     Fn&& fn) {
   util::Rng rng(util::task_seed(seed, b));
-  const std::size_t w_end = std::min(words_for(patterns),
-                                     (b + 1) * kWordsPerBlock);
-  for (std::size_t w = b * kWordsPerBlock; w < w_end; ++w) {
-    const std::size_t batch = std::min<std::size_t>(64, patterns - w * 64);
-    const std::uint64_t mask = batch == 64 ? ~0ULL : ((1ULL << batch) - 1);
-    for (auto& word : src) word = rng();
-    fn(batch, mask);
+  const std::size_t w_end =
+      std::min(words_for(patterns), (b + 1) * kWordsPerBlock);
+  for (std::size_t w = b * kWordsPerBlock; w < w_end; w += W) {
+    const std::size_t real = std::min(W, w_end - w);
+    if (real < W) std::fill(src.begin(), src.end(), 0);
+    for (std::size_t j = 0; j < real; ++j)
+      for (std::size_t i = 0; i < num_sources; ++i) src[i * W + j] = rng();
+    std::array<std::uint64_t, W> masks;
+    std::size_t batch_total = 0;
+    for (std::size_t j = 0; j < W; ++j) {
+      if (j >= real) {
+        masks[j] = 0;
+        continue;
+      }
+      const std::size_t batch =
+          std::min<std::size_t>(64, patterns - (w + j) * 64);
+      masks[j] = batch == 64 ? ~0ULL : ((1ULL << batch) - 1);
+      batch_total += batch;
+    }
+    fn(batch_total, masks);
   }
 }
 
-}  // namespace
-
-ErrorRates compare(const Netlist& golden, const Netlist& dut,
-                   std::size_t patterns, std::uint64_t seed,
-                   std::size_t jobs) {
+template <std::size_t W>
+ErrorRates compare_lanes(const Netlist& golden, const Netlist& dut,
+                         std::size_t patterns, std::uint64_t seed,
+                         std::size_t jobs) {
   Simulator sg(golden);
   Simulator sd(dut);
   if (sg.num_sources() != sd.num_sources() ||
@@ -154,23 +243,29 @@ ErrorRates compare(const Netlist& golden, const Netlist& dut,
   const std::size_t blocks = blocks_for(patterns);
   std::vector<BlockCounts> counts(blocks);
   util::parallel_for(jobs, blocks, [&](std::size_t b) {
-    std::vector<std::uint64_t> src(sg.num_sources());
+    std::vector<std::uint64_t> src(sg.num_sources() * W);
     std::vector<std::uint64_t> out_g, out_d, val_g, val_d;
     BlockCounts& c = counts[b];
-    run_block(b, patterns, seed, src,
-              [&](std::size_t batch, std::uint64_t mask) {
-                sg.eval(src, out_g, val_g);
-                sd.eval(src, out_d, val_d);
-                std::uint64_t any_diff = 0;
-                for (std::size_t i = 0; i < out_g.size(); ++i) {
-                  const std::uint64_t diff = (out_g[i] ^ out_d[i]) & mask;
-                  c.wrong_bits += static_cast<std::size_t>(std::popcount(diff));
-                  any_diff |= diff;
-                }
-                c.wrong_patterns +=
-                    static_cast<std::size_t>(std::popcount(any_diff));
-                c.patterns += batch;
-              });
+    run_block_lanes<W>(
+        b, patterns, seed, src, sg.num_sources(),
+        [&](std::size_t batch_total, const std::array<std::uint64_t, W>& m) {
+          sg.eval_lanes<W>(src, out_g, val_g);
+          sd.eval_lanes<W>(src, out_d, val_d);
+          std::uint64_t any_diff[W] = {};
+          std::size_t wrong_bits = 0;
+          for (std::size_t i = 0; i < sg.num_observers(); ++i)
+            for (std::size_t j = 0; j < W; ++j) {
+              const std::uint64_t diff =
+                  (out_g[i * W + j] ^ out_d[i * W + j]) & m[j];
+              wrong_bits += static_cast<std::size_t>(std::popcount(diff));
+              any_diff[j] |= diff;
+            }
+          c.wrong_bits += wrong_bits;
+          for (std::size_t j = 0; j < W; ++j)
+            c.wrong_patterns +=
+                static_cast<std::size_t>(std::popcount(any_diff[j]));
+          c.patterns += batch_total;
+        });
   });
 
   std::size_t wrong_bits = 0, wrong_patterns = 0, total_patterns = 0;
@@ -189,32 +284,32 @@ ErrorRates compare(const Netlist& golden, const Netlist& dut,
   return r;
 }
 
-bool equivalent(const Netlist& a, const Netlist& b, std::size_t patterns,
-                std::uint64_t seed) {
-  const ErrorRates r = compare(a, b, patterns, seed);
-  return r.oer == 0.0;
-}
-
-std::vector<double> toggle_rates(const Netlist& nl, std::size_t patterns,
-                                 std::uint64_t seed, std::size_t jobs) {
+template <std::size_t W>
+std::vector<double> toggle_rates_lanes(const Netlist& nl,
+                                       std::size_t patterns,
+                                       std::uint64_t seed, std::size_t jobs) {
   Simulator s(nl);
   std::vector<std::size_t> ones(nl.num_nets(), 0);
   std::size_t total = 0;
   std::mutex merge;
   const std::size_t blocks = blocks_for(patterns);
   util::parallel_for(jobs, blocks, [&](std::size_t b) {
-    std::vector<std::uint64_t> src(s.num_sources());
+    std::vector<std::uint64_t> src(s.num_sources() * W);
     std::vector<std::uint64_t> out, vals;
     std::vector<std::size_t> local(nl.num_nets(), 0);
     std::size_t local_total = 0;
-    run_block(b, patterns, seed, src,
-              [&](std::size_t batch, std::uint64_t mask) {
-                s.eval(src, out, vals);
-                for (NetId n = 0; n < nl.num_nets(); ++n)
-                  local[n] +=
-                      static_cast<std::size_t>(std::popcount(vals[n] & mask));
-                local_total += batch;
-              });
+    run_block_lanes<W>(
+        b, patterns, seed, src, s.num_sources(),
+        [&](std::size_t batch_total, const std::array<std::uint64_t, W>& m) {
+          s.eval_lanes<W>(src, out, vals);
+          for (NetId n = 0; n < nl.num_nets(); ++n) {
+            std::size_t c = 0;
+            for (std::size_t j = 0; j < W; ++j)
+              c += static_cast<std::size_t>(std::popcount(vals[n * W + j] & m[j]));
+            local[n] += c;
+          }
+          local_total += batch_total;
+        });
     // Integer sums commute, so the merge order cannot leak into the rates.
     const std::lock_guard<std::mutex> g(merge);
     for (NetId n = 0; n < nl.num_nets(); ++n) ones[n] += local[n];
@@ -227,6 +322,41 @@ std::vector<double> toggle_rates(const Netlist& nl, std::size_t patterns,
     act[n] = 2.0 * p * (1.0 - p);  // random-stimulus switching probability
   }
   return act;
+}
+
+std::size_t resolve_lanes(std::size_t lanes) {
+  const std::size_t w = lanes == 0 ? kDefaultSimLanes : lanes;
+  if (w != 1 && w != 4 && w != 8)
+    throw std::invalid_argument("sim lanes must be 1, 4, or 8");
+  return w;
+}
+
+}  // namespace
+
+ErrorRates compare(const Netlist& golden, const Netlist& dut,
+                   std::size_t patterns, std::uint64_t seed,
+                   std::size_t jobs, std::size_t lanes) {
+  switch (resolve_lanes(lanes)) {
+    case 1: return compare_lanes<1>(golden, dut, patterns, seed, jobs);
+    case 4: return compare_lanes<4>(golden, dut, patterns, seed, jobs);
+    default: return compare_lanes<8>(golden, dut, patterns, seed, jobs);
+  }
+}
+
+bool equivalent(const Netlist& a, const Netlist& b, std::size_t patterns,
+                std::uint64_t seed) {
+  const ErrorRates r = compare(a, b, patterns, seed);
+  return r.oer == 0.0;
+}
+
+std::vector<double> toggle_rates(const Netlist& nl, std::size_t patterns,
+                                 std::uint64_t seed, std::size_t jobs,
+                                 std::size_t lanes) {
+  switch (resolve_lanes(lanes)) {
+    case 1: return toggle_rates_lanes<1>(nl, patterns, seed, jobs);
+    case 4: return toggle_rates_lanes<4>(nl, patterns, seed, jobs);
+    default: return toggle_rates_lanes<8>(nl, patterns, seed, jobs);
+  }
 }
 
 }  // namespace sm::sim

@@ -57,6 +57,17 @@ class Simulator {
             std::vector<std::uint64_t>& observer_words,
             std::vector<std::uint64_t>& values) const;
 
+  /// Wide-lane evaluation: W pattern words (64*W patterns) per call, laid
+  /// out structure-of-arrays — source i's words at source_words[i*W..i*W+W),
+  /// net n's words at values[n*W..n*W+W) — so every gate touches W
+  /// contiguous words and the levelized walk auto-vectorizes. Instantiated
+  /// for W = 1, 4, 8 (kWordsPerBlock is divisible by all three, keeping the
+  /// block partition intact). eval() is exactly eval_lanes<1>.
+  template <std::size_t W>
+  void eval_lanes(const std::vector<std::uint64_t>& source_words,
+                  std::vector<std::uint64_t>& observer_words,
+                  std::vector<std::uint64_t>& values) const;
+
   /// Net values from the most recent buffer-less eval() (indexed by NetId).
   const std::vector<std::uint64_t>& net_values() const { return values_; }
 
@@ -80,14 +91,23 @@ struct ErrorRates {
 /// partition (and therefore every metric) must not depend on `jobs`.
 inline constexpr std::size_t kPatternsPerBlock = 4096;
 
+/// Lane width compare()/toggle_rates() use when asked for `lanes == 0`.
+/// Every supported width (1, 4, 8) yields byte-identical metrics — each
+/// block still draws the same util::task_seed RNG stream in the same
+/// word-major order; lanes only change how many words evaluate per
+/// levelized walk.
+inline constexpr std::size_t kDefaultSimLanes = 8;
+
 /// Compare two netlists with `patterns` random stimuli (rounded up to a
 /// multiple of 64). Requires matching source/observer counts (the
 /// randomization defense preserves them). Throws std::invalid_argument
 /// otherwise. `jobs` shards the pattern blocks over worker threads
-/// (0 = hardware concurrency); results are bit-identical for any value.
+/// (0 = hardware concurrency); `lanes` picks the SIMD lane width (1, 4, or
+/// 8; 0 = kDefaultSimLanes). Results are bit-identical for any jobs and
+/// lanes values.
 ErrorRates compare(const netlist::Netlist& golden, const netlist::Netlist& dut,
                    std::size_t patterns, std::uint64_t seed,
-                   std::size_t jobs = 1);
+                   std::size_t jobs = 1, std::size_t lanes = 0);
 
 /// True when `patterns` random stimuli produce identical observer responses.
 /// (Simulation-based equivalence; exhaustive when the netlist has <= 20
@@ -97,10 +117,11 @@ bool equivalent(const netlist::Netlist& a, const netlist::Netlist& b,
 
 /// Per-net switching activity estimate: 2*p*(1-p) where p is the signal
 /// probability measured over `patterns` random stimuli. Used for dynamic
-/// power in sm::timing. `jobs` as in compare(); the per-net one-counts are
-/// integer sums over blocks, so any merge order yields identical rates.
+/// power in sm::timing. `jobs` and `lanes` as in compare(); the per-net
+/// one-counts are integer sums over blocks, so any merge order (and any
+/// lane width) yields identical rates.
 std::vector<double> toggle_rates(const netlist::Netlist& nl,
                                  std::size_t patterns, std::uint64_t seed,
-                                 std::size_t jobs = 1);
+                                 std::size_t jobs = 1, std::size_t lanes = 0);
 
 }  // namespace sm::sim

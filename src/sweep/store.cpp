@@ -297,41 +297,81 @@ void StoreWriter::append(const StoreRecord& rec) {
     util::fault_crash(util::FaultPoint::CrashAfterAppend);
 }
 
+namespace {
+
+/// One log line into the merged view — the single merge rule both
+/// load_store and StoreReader::poll apply. Returns true if a record
+/// landed (new key or overwrite), false for unparsable lines.
+bool merge_store_line(const std::string& line, StoreContents& out) {
+  ++out.lines;
+  StoreRecord rec;
+  try {
+    rec = parse_store_line(line);
+  } catch (const std::invalid_argument&) {
+    // A crash can tear the final line of a log (and a merged store
+    // inherits such tails mid-file); the record it would have held
+    // was never acknowledged, so skipping is the correct recovery.
+    ++out.skipped;
+    return false;
+  }
+  const auto it = out.records.find(rec.config_hash);
+  if (it == out.records.end()) {
+    out.records.emplace(rec.config_hash, std::move(rec));
+  } else {
+    ++out.duplicates;
+    // Last-wins, except success is sticky: a quarantine marker only
+    // says workers died while the cell was missing, so it never
+    // supersedes a completed record, whatever order shard logs merge.
+    if (!(rec.failed && !it->second.failed)) it->second = std::move(rec);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t StoreReader::poll(StoreContents& into, bool consume_tail) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return 0;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) return 0;
+  const auto size = static_cast<std::uint64_t>(end);
+  // Append-only logs never shrink; a smaller file means the log was
+  // rotated or replaced under us — start over (keyed merge is idempotent).
+  if (size < offset_) offset_ = 0;
+  if (size == offset_) return 0;
+  in.seekg(static_cast<std::streamoff>(offset_));
+  std::string buf(static_cast<std::size_t>(size - offset_), '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  buf.resize(static_cast<std::size_t>(in.gcount()));
+  std::size_t merged = 0;
+  std::size_t pos = 0;
+  std::size_t consumed = 0;
+  while (pos < buf.size()) {
+    const auto nl = buf.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const std::string line = buf.substr(pos, nl - pos);
+    pos = nl + 1;
+    consumed = pos;
+    if (!line.empty() && merge_store_line(line, into)) ++merged;
+  }
+  if (consume_tail && pos < buf.size()) {
+    // The EOF-terminated final line, exactly as std::getline reads it.
+    const std::string line = buf.substr(pos);
+    consumed = buf.size();
+    if (!line.empty() && merge_store_line(line, into)) ++merged;
+  }
+  offset_ += consumed;
+  return merged;
+}
+
 StoreContents load_store(const std::vector<std::string>& paths,
                          bool must_exist) {
   StoreContents out;
   for (const auto& path : paths) {
-    std::ifstream in(path);
-    if (!in) {
-      if (must_exist)
-        throw std::runtime_error("store: cannot read '" + path + "'");
-      continue;
-    }
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      ++out.lines;
-      StoreRecord rec;
-      try {
-        rec = parse_store_line(line);
-      } catch (const std::invalid_argument&) {
-        // A crash can tear the final line of a log (and a merged store
-        // inherits such tails mid-file); the record it would have held
-        // was never acknowledged, so skipping is the correct recovery.
-        ++out.skipped;
-        continue;
-      }
-      const auto it = out.records.find(rec.config_hash);
-      if (it == out.records.end()) {
-        out.records.emplace(rec.config_hash, std::move(rec));
-      } else {
-        ++out.duplicates;
-        // Last-wins, except success is sticky: a quarantine marker only
-        // says workers died while the cell was missing, so it never
-        // supersedes a completed record, whatever order shard logs merge.
-        if (!(rec.failed && !it->second.failed)) it->second = std::move(rec);
-      }
-    }
+    if (must_exist && !std::ifstream(path))
+      throw std::runtime_error("store: cannot read '" + path + "'");
+    StoreReader(path).poll(out, /*consume_tail=*/true);
   }
   return out;
 }

@@ -166,6 +166,42 @@ struct StoreContents {
 StoreContents load_store(const std::vector<std::string>& paths,
                          bool must_exist);
 
+/// Incremental tail reader over one store log. Remembers the byte offset
+/// of the consumed prefix, so polling after an append costs O(new bytes)
+/// instead of O(log) — the supervisor polls once per worker event, and
+/// before this class every poll re-parsed the whole log from byte 0.
+/// Line parsing and merge semantics are exactly load_store's (keyed,
+/// last-wins, success sticky); load_store itself is one
+/// construct-and-drain of this reader per path, so the two can never
+/// disagree about a log's contents.
+class StoreReader {
+ public:
+  explicit StoreReader(std::string path) : path_(std::move(path)) {}
+
+  /// Parse every line appended since the last poll and merge it into
+  /// `into` (the caller keeps one StoreContents across polls). A trailing
+  /// line not yet '\n'-terminated is left unconsumed: a concurrent
+  /// StoreWriter lands each record with a single O_APPEND write(2) of a
+  /// terminated line, so an unterminated tail is either a record still in
+  /// flight or a torn crash line — and once the next append lands behind
+  /// a torn tail, the glued "tail+record" line parses as garbage and is
+  /// counted in `skipped`, byte-for-byte what load_store sees in a merged
+  /// log with a mid-file tear. Only a final poll with `consume_tail` true
+  /// (no writer left) judges a still-unterminated tail, exactly as
+  /// load_store's getline does at EOF. A missing file contributes
+  /// nothing; a file that shrank (log rotated or replaced) resets the
+  /// reader to byte 0 and re-merges — records are keyed, so re-reads are
+  /// idempotent. Returns the number of records merged.
+  std::size_t poll(StoreContents& into, bool consume_tail = false);
+
+  const std::string& path() const { return path_; }
+  std::uint64_t offset() const { return offset_; }  ///< consumed-prefix bytes
+
+ private:
+  std::string path_;
+  std::uint64_t offset_ = 0;
+};
+
 /// Rebuild a Result from the log: grid-major rows for every cell whose
 /// hash the store holds, absent cells listed in `missing`. The table is a
 /// pure materialization — compute fields (jobs, cache_stats, sweep

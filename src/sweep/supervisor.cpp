@@ -157,8 +157,15 @@ ServeReport serve(const Grid& grid, const ServeOptions& opts) {
 
   // Missing = grid cells with no record; failed records are already
   // quarantined (a prior serve gave up on them) and are not retried.
-  const StoreContents stored =
-      load_store({opts.sweep.store_path}, /*must_exist=*/false);
+  // One incremental reader lives for the whole serve: the initial poll
+  // pays O(log) once, every later poll (one per worker event) reads only
+  // the bytes workers appended since. The tail is never consumed — a
+  // worker may be mid-append; an unterminated line stays pending until
+  // its newline lands (and a torn crash tail glues into the next append,
+  // parsing as one skipped line, exactly load_store's view of it).
+  StoreReader reader(opts.sweep.store_path);
+  StoreContents stored;
+  reader.poll(stored);
   std::vector<TaskState> tasks;
   tasks.reserve(units.size());
   for (auto& unit : units) {
@@ -191,18 +198,16 @@ ServeReport serve(const Grid& grid, const ServeOptions& opts) {
     return !ts.missing.empty() && !ts.queued;
   };
 
-  // Reload the store and refresh a task's missing list; returns how many
-  // of its cells landed since the last look. (A full log reload per worker
-  // event is O(records) — fine at current scales; an incremental tail
-  // reader is the obvious upgrade once logs hit millions of lines.)
+  // Poll the log's tail into the accumulated view and refresh a task's
+  // missing list; returns how many of its cells landed since the last
+  // look. O(bytes appended since the previous poll), not O(log).
   const auto refresh = [&](TaskState& ts) {
-    const StoreContents now_stored =
-        load_store({opts.sweep.store_path}, /*must_exist=*/false);
+    reader.poll(stored);
     std::vector<std::size_t> still;
     std::size_t landed = 0;
     for (const std::size_t ci : ts.missing) {
-      const auto it = now_stored.records.find(ts.unit.cells[ci].config_hash);
-      if (it == now_stored.records.end())
+      const auto it = stored.records.find(ts.unit.cells[ci].config_hash);
+      if (it == stored.records.end())
         still.push_back(ci);
       else if (!it->second.failed)
         ++landed;

@@ -184,6 +184,55 @@ TEST_F(AttackTest, JobsBitIdenticalOnRealLayout) {
   EXPECT_EQ(serial.rates.patterns, parallel.rates.patterns);
 }
 
+// ISSUE-10: the warm-started MCMF repair loop (one live solver across
+// loop-repair rounds, only the removed arcs re-routed) must produce the
+// IDENTICAL assignment — not merely equal cost — as the cold path that
+// rebuilds and re-solves the reduced network every round. The rigs below
+// split at M3, where the flow's optimum collides with combinational-loop
+// constraints for many rounds (c2670: ~20 repair rounds), so the contract
+// is exercised for real, not vacuously.
+class WarmColdRig : public AttackTest {
+ protected:
+  void expect_warm_equals_cold(const char* name, int split,
+                               core::FlowOptions f) {
+    const Netlist original = bench(name);
+    const auto layout = core::layout_original(original, f);
+    const auto view = core::split_layout(original, layout.placement,
+                                         layout.routing, layout.tasks,
+                                         layout.num_net_tasks, split);
+    attack::ProximityOptions opts = quick_attack();
+    opts.eval_patterns = 256;  // the matcher is under test, not the sim
+    opts.mcmf_warm = true;
+    const auto warm = attack::proximity_attack(original, original,
+                                               layout.placement, view,
+                                               nullptr, opts);
+    opts.mcmf_warm = false;
+    const auto cold = attack::proximity_attack(original, original,
+                                               layout.placement, view,
+                                               nullptr, opts);
+    EXPECT_EQ(warm.open_sinks, cold.open_sinks);
+    EXPECT_EQ(warm.matched, cold.matched);
+    EXPECT_EQ(warm.correct, cold.correct);  // assignment-level equality
+    EXPECT_EQ(warm.rates.oer, cold.rates.oer);
+    EXPECT_EQ(warm.rates.hd, cold.rates.hd);
+    EXPECT_EQ(warm.rates.patterns, cold.rates.patterns);
+    EXPECT_GT(warm.matched, 0u);
+  }
+};
+
+TEST_F(WarmColdRig, C880) { expect_warm_equals_cold("c880", 3, flow()); }
+
+TEST_F(WarmColdRig, C2670) { expect_warm_equals_cold("c2670", 3, flow()); }
+
+TEST_F(WarmColdRig, C7552) {
+  // The bench_micro AttackRig recipe (bench/bench_micro.cpp
+  // BM_AttackCandidatesIndexed): c7552, router passes 2, split M3 — the
+  // rig the ISSUE-10 ≥20% serial speedup is measured on.
+  core::FlowOptions f = flow();
+  f.router.passes = 2;
+  expect_warm_equals_cold("c7552", 3, f);
+}
+
 TEST_F(AttackTest, CRoutingCountsCandidates) {
   const Netlist original = bench();
   const auto layout = core::layout_original(original, flow());

@@ -2,6 +2,7 @@
 // sequential cut handling, toggle rates.
 #include "netlist/netlist.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 #include "workloads/generator.hpp"
 
 #include <gtest/gtest.h>
@@ -209,6 +210,89 @@ TEST_F(SimTest, ToggleRatesJobsBitIdentical) {
   const auto act4 = sm::sim::toggle_rates(nl, 20000, 5, 4);
   ASSERT_EQ(act1.size(), act4.size());
   for (std::size_t n = 0; n < act1.size(); ++n) EXPECT_EQ(act1[n], act4[n]);
+}
+
+TEST_F(SimTest, EvalLanesMatchesScalarEval) {
+  // eval_lanes<W> on a structure-of-arrays stimulus must reproduce W
+  // independent scalar eval() calls word for word — the lane loop changes
+  // the memory walk, never the logic.
+  CellLibrary l;
+  const auto nl = sm::workloads::generate(
+      l, sm::workloads::iscas85_profile("c432"), 5);
+  Simulator s(nl);
+  constexpr std::size_t W = 4;
+  sm::util::Rng rng(99);
+  std::vector<std::uint64_t> soa(s.num_sources() * W);
+  for (auto& w : soa) w = rng();
+  std::vector<std::uint64_t> wide_out, wide_vals;
+  s.eval_lanes<W>(soa, wide_out, wide_vals);
+  ASSERT_EQ(wide_out.size(), s.num_observers() * W);
+  for (std::size_t j = 0; j < W; ++j) {
+    std::vector<std::uint64_t> lane_src(s.num_sources());
+    for (std::size_t i = 0; i < lane_src.size(); ++i)
+      lane_src[i] = soa[i * W + j];
+    std::vector<std::uint64_t> out;
+    s.eval(lane_src, out);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], wide_out[i * W + j]) << "lane " << j << " obs " << i;
+  }
+}
+
+TEST_F(SimTest, CompareLanesBitIdentical) {
+  // The ISSUE-10 lane contract: every lane width draws the same per-block
+  // task_seed stream in the same word-major order, so OER/HD are bitwise
+  // equal for lanes 1, 4, and 8 — across worker counts, including a
+  // partial tail block whose word count is not a lane multiple (9000
+  // patterns = 141 words = 2 full blocks + 13 tail words).
+  CellLibrary l;
+  auto build = [&](const char* type) {
+    Netlist nl(l, type);
+    const NetId i0 = nl.add_primary_input("i0");
+    const NetId i1 = nl.add_primary_input("i1");
+    const CellId g = nl.add_cell("g", l.id_of(type));
+    nl.connect_input(g, 0, i0);
+    nl.connect_input(g, 1, i1);
+    nl.add_primary_output("y", nl.cell(g).output);
+    return nl;
+  };
+  const auto a = build("XOR2_X1");
+  const auto b = build("AND2_X1");
+  const auto ref = sm::sim::compare(a, b, 9000, 7, 1, 1);
+  EXPECT_GT(ref.oer, 0.0);  // genuinely stream-sensitive rig
+  EXPECT_LT(ref.oer, 1.0);
+  for (const std::size_t lanes : {4ul, 8ul})
+    for (const std::size_t jobs : {1ul, 3ul}) {
+      const auto r = sm::sim::compare(a, b, 9000, 7, jobs, lanes);
+      EXPECT_EQ(r.patterns, ref.patterns) << lanes << "x" << jobs;
+      EXPECT_EQ(r.oer, ref.oer) << lanes << "x" << jobs;
+      EXPECT_EQ(r.hd, ref.hd) << lanes << "x" << jobs;
+    }
+  // The default width (lanes = 0) is one of the identical widths.
+  const auto rd = sm::sim::compare(a, b, 9000, 7, 1, 0);
+  EXPECT_EQ(rd.oer, ref.oer);
+  EXPECT_EQ(rd.hd, ref.hd);
+}
+
+TEST_F(SimTest, ToggleRatesLanesBitIdentical) {
+  CellLibrary l;
+  const auto nl = sm::workloads::generate(
+      l, sm::workloads::iscas85_profile("c880"), 2);
+  const auto ref = sm::sim::toggle_rates(nl, 20000, 5, 1, 1);
+  for (const std::size_t lanes : {4ul, 8ul}) {
+    const auto r = sm::sim::toggle_rates(nl, 20000, 5, 2, lanes);
+    ASSERT_EQ(r.size(), ref.size());
+    for (std::size_t n = 0; n < r.size(); ++n)
+      ASSERT_EQ(r[n], ref[n]) << "lanes " << lanes << " net " << n;
+  }
+}
+
+TEST_F(SimTest, LaneWidthValidated) {
+  CellLibrary l;
+  const auto nl = sm::workloads::generate(
+      l, sm::workloads::iscas85_profile("c432"), 5);
+  EXPECT_THROW(sm::sim::compare(nl, nl, 64, 0, 1, 3), std::invalid_argument);
+  EXPECT_THROW(sm::sim::toggle_rates(nl, 64, 0, 1, 16),
+               std::invalid_argument);
 }
 
 TEST_F(SimTest, DeterministicAcrossRuns) {

@@ -229,6 +229,158 @@ TEST(Store, MissingFilePolicy) {
                std::runtime_error);
 }
 
+// --------------------------------------------------------- tail reader ---
+
+TEST(StoreReader, PollReadsOnlyAppendedBytes) {
+  const std::string path = testing::TempDir() + "sm_store_test_tail.jsonl";
+  std::remove(path.c_str());
+  auto a = sample_record();
+  auto b = sample_record();
+  b.config_hash = "ffeeddccbbaa9988";
+
+  sweep::StoreWriter w(path);
+  w.append(a);
+  sweep::StoreReader r(path);
+  sweep::StoreContents acc;
+  EXPECT_EQ(r.poll(acc), 1u);
+  const auto consumed = r.offset();
+  EXPECT_GT(consumed, 0u);
+  // An idle poll is O(0 new bytes): nothing merged, offset unmoved.
+  EXPECT_EQ(r.poll(acc), 0u);
+  EXPECT_EQ(r.offset(), consumed);
+  w.append(b);
+  EXPECT_EQ(r.poll(acc), 1u);
+  EXPECT_GT(r.offset(), consumed);
+  EXPECT_EQ(acc.records.size(), 2u);
+  EXPECT_EQ(acc.lines, 2u);
+  EXPECT_EQ(acc.skipped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(StoreReader, UnterminatedTailWaitsForItsNewline) {
+  const std::string path = testing::TempDir() + "sm_store_test_inflight.jsonl";
+  std::remove(path.c_str());
+  auto a = sample_record();
+  auto b = sample_record();
+  b.config_hash = "ffeeddccbbaa9988";
+  const auto line_b = to_store_line(b);
+
+  // A record still in flight: the reader must not judge the unterminated
+  // tail — the writer commits whole lines, so the newline will come.
+  {
+    std::ofstream f(path);
+    f << to_store_line(a) << '\n' << line_b.substr(0, line_b.size() / 2);
+  }
+  sweep::StoreReader r(path);
+  sweep::StoreContents acc;
+  EXPECT_EQ(r.poll(acc), 1u);
+  const auto consumed = r.offset();
+  EXPECT_EQ(acc.records.size(), 1u);
+  EXPECT_EQ(acc.skipped, 0u);
+  {
+    std::ofstream f(path, std::ios::app);
+    f << line_b.substr(line_b.size() / 2) << '\n';
+  }
+  EXPECT_EQ(r.poll(acc), 1u);
+  EXPECT_GT(r.offset(), consumed);
+  EXPECT_EQ(acc.records.size(), 2u);
+  EXPECT_TRUE(acc.records.count(b.config_hash));
+  EXPECT_EQ(acc.skipped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(StoreReader, TornTailGluesIntoNextAppendAndSkips) {
+  const std::string path = testing::TempDir() + "sm_store_test_glue.jsonl";
+  std::remove(path.c_str());
+  auto a = sample_record();
+  auto b = sample_record();
+  b.config_hash = "ffeeddccbbaa9988";
+  auto c = sample_record();
+  c.config_hash = "0123456789abcdef";
+
+  {
+    std::ofstream f(path);
+    const auto torn = to_store_line(b);
+    f << to_store_line(a) << '\n' << torn.substr(0, torn.size() / 3);
+  }
+  sweep::StoreReader r(path);
+  sweep::StoreContents acc;
+  EXPECT_EQ(r.poll(acc), 1u);
+  // A crashed worker's torn tail never gets its newline; the next append
+  // (O_APPEND) lands behind it and the glued bytes parse as one garbage
+  // line — byte-for-byte what load_store sees in a merged log with a
+  // mid-file tear. The record after the glue merges normally.
+  {
+    std::ofstream f(path, std::ios::app);
+    f << to_store_line(c) << '\n';
+  }
+  EXPECT_EQ(r.poll(acc), 0u);
+  EXPECT_EQ(acc.skipped, 1u);
+  {
+    std::ofstream f(path, std::ios::app);
+    f << to_store_line(b) << '\n';
+  }
+  EXPECT_EQ(r.poll(acc), 1u);
+  EXPECT_EQ(acc.records.size(), 2u);
+  EXPECT_TRUE(acc.records.count(b.config_hash));
+  EXPECT_FALSE(acc.records.count(c.config_hash));  // lost to the glue
+  std::remove(path.c_str());
+}
+
+TEST(StoreReader, ConsumeTailMatchesLoadStore) {
+  const std::string path = testing::TempDir() + "sm_store_test_eoftail.jsonl";
+  std::remove(path.c_str());
+  auto a = sample_record();
+  auto b = sample_record();
+  b.config_hash = "ffeeddccbbaa9988";
+  {
+    // EOF-terminated final line, no trailing newline: getline-at-EOF
+    // territory, which only a consume_tail poll may enter.
+    std::ofstream f(path);
+    f << to_store_line(a) << '\n' << to_store_line(b);
+  }
+  sweep::StoreReader r(path);
+  sweep::StoreContents acc;
+  EXPECT_EQ(r.poll(acc, /*consume_tail=*/false), 1u);
+  EXPECT_EQ(r.poll(acc, /*consume_tail=*/true), 1u);
+
+  const auto ref = sweep::load_store({path}, /*must_exist=*/true);
+  EXPECT_EQ(acc.records.size(), ref.records.size());
+  EXPECT_EQ(acc.lines, ref.lines);
+  EXPECT_EQ(acc.skipped, ref.skipped);
+  EXPECT_EQ(acc.duplicates, ref.duplicates);
+  for (const auto& [hash, rec] : ref.records) {
+    ASSERT_TRUE(acc.records.count(hash));
+    EXPECT_EQ(acc.records.at(hash).row.wall_ms, rec.row.wall_ms);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreReader, ShrunkenLogRestartsFromByteZero) {
+  const std::string path = testing::TempDir() + "sm_store_test_shrink.jsonl";
+  std::remove(path.c_str());
+  auto a = sample_record();
+  auto b = sample_record();
+  b.config_hash = "ffeeddccbbaa9988";
+  {
+    std::ofstream f(path);
+    f << to_store_line(a) << '\n' << to_store_line(b) << '\n';
+  }
+  sweep::StoreReader r(path);
+  sweep::StoreContents acc;
+  EXPECT_EQ(r.poll(acc), 2u);
+  {
+    // Log rotated/replaced under the reader: smaller file, fresh bytes.
+    std::ofstream f(path, std::ios::trunc);
+    f << to_store_line(b) << '\n';
+  }
+  EXPECT_EQ(r.poll(acc), 1u);  // keyed merge makes the re-read idempotent
+  EXPECT_EQ(acc.records.size(), 2u);
+  EXPECT_EQ(acc.duplicates, 1u);
+  EXPECT_EQ(r.offset(), to_store_line(b).size() + 1);
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------- cells and hashes ---
 
 TEST(StoreCells, ExpandIsGridMajorWithSplitInnermost) {
